@@ -1,0 +1,473 @@
+// Benchmark harness: one testing.B family per paper figure plus the
+// ablations called out in DESIGN.md. Each figure bench reproduces the
+// corresponding workload pattern with b.N operations spread over a worker
+// grid; `go test -bench Fig08 -benchmem` regenerates the shape of Figure 8
+// (per-operation cost by allocator, size and thread count), and so on.
+// cmd/nbbsfig renders the same experiments as the paper's tables instead.
+package nbbs_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/frontend"
+
+	"repro/internal/bunch"
+	_ "repro/internal/cloudwu"
+	"repro/internal/core"
+	_ "repro/internal/linuxbuddy"
+	_ "repro/internal/slbuddy"
+)
+
+// benchInstance mirrors the paper's user-space configuration: 8-byte
+// allocation units, 16 KB maximum chunks (Figures 8-11).
+var benchInstance = alloc.Config{Total: 16 << 20, MinSize: 8, MaxSize: 16 << 10}
+
+// kernelInstance mirrors Figure 12: page-grained units, 4 MB max order.
+var kernelInstance = alloc.Config{Total: 256 << 20, MinSize: 4 << 10, MaxSize: 4 << 20}
+
+// benchAllocators is the paper's user-space comparison set.
+var benchAllocators = []string{"4lvl-nb", "1lvl-nb", "4lvl-sl", "1lvl-sl", "buddy-sl"}
+
+func benchThreads() []int {
+	n := runtime.GOMAXPROCS(0)
+	if n <= 1 {
+		return []int{1}
+	}
+	return []int{1, n}
+}
+
+// runWorkers spreads b.N operations over the worker goroutines, each
+// driving its own handle with the given per-worker body.
+func runWorkers(b *testing.B, a alloc.Allocator, threads int, body func(h alloc.Handle, iters int, id int)) {
+	b.Helper()
+	iters := b.N / threads
+	if iters == 0 {
+		iters = 1
+	}
+	handles := make([]alloc.Handle, threads)
+	for i := range handles {
+		handles[i] = a.NewHandle()
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(handles[w], iters, w)
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+}
+
+func build(b *testing.B, variant string, cfg alloc.Config) alloc.Allocator {
+	b.Helper()
+	a, err := alloc.Build(variant, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// BenchmarkFig08LinuxScalability: the Linux Scalability pattern — tight
+// same-size alloc/free pairs per worker (paper Figure 8; one op = one
+// alloc+free pair).
+func BenchmarkFig08LinuxScalability(b *testing.B) {
+	for _, variant := range benchAllocators {
+		for _, size := range []uint64{8, 128, 1024} {
+			for _, threads := range benchThreads() {
+				b.Run(fmt.Sprintf("%s/bytes=%d/threads=%d", variant, size, threads), func(b *testing.B) {
+					a := build(b, variant, benchInstance)
+					runWorkers(b, a, threads, func(h alloc.Handle, iters, _ int) {
+						for i := 0; i < iters; i++ {
+							if off, ok := h.Alloc(size); ok {
+								h.Free(off)
+							}
+						}
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig09ThreadTest: the Thread Test pattern — allocate a batch,
+// then free the whole batch (paper Figure 9; one op = one alloc+free pair,
+// batched 100 at a time).
+func BenchmarkFig09ThreadTest(b *testing.B) {
+	const batch = 100
+	for _, variant := range benchAllocators {
+		for _, size := range []uint64{8, 128, 1024} {
+			for _, threads := range benchThreads() {
+				b.Run(fmt.Sprintf("%s/bytes=%d/threads=%d", variant, size, threads), func(b *testing.B) {
+					a := build(b, variant, benchInstance)
+					runWorkers(b, a, threads, func(h alloc.Handle, iters, _ int) {
+						live := make([]uint64, 0, batch)
+						for done := 0; done < iters; {
+							live = live[:0]
+							for k := 0; k < batch && done < iters; k++ {
+								if off, ok := h.Alloc(size); ok {
+									live = append(live, off)
+								}
+								done++
+							}
+							for _, off := range live {
+								h.Free(off)
+							}
+						}
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig10Larson: the Larson pattern — replace a random chunk in a
+// shared table, freeing what another worker allocated (paper Figure 10;
+// one op = one replace).
+func BenchmarkFig10Larson(b *testing.B) {
+	const slots = 2048
+	for _, variant := range benchAllocators {
+		for _, size := range []uint64{8, 128, 1024} {
+			for _, threads := range benchThreads() {
+				b.Run(fmt.Sprintf("%s/bytes=%d/threads=%d", variant, size, threads), func(b *testing.B) {
+					a := build(b, variant, benchInstance)
+					table := make([]atomic.Uint64, slots)
+					runWorkers(b, a, threads, func(h alloc.Handle, iters, id int) {
+						rng := rand.New(rand.NewSource(int64(id) + 1))
+						for i := 0; i < iters; i++ {
+							var repl uint64
+							if off, ok := h.Alloc(size); ok {
+								repl = off + 1
+							}
+							if old := table[rng.Intn(slots)].Swap(repl); old != 0 {
+								h.Free(old - 1)
+							}
+						}
+					})
+					// Drain outside the timed region.
+					for i := range table {
+						if v := table[i].Swap(0); v != 0 {
+							a.Free(v - 1)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig11ConstantOccupancy: the paper's own pattern — a standing
+// mixed-size pool per worker, each op frees a random element and
+// re-allocates its size (paper Figure 11; one op = one free+alloc pair).
+func BenchmarkFig11ConstantOccupancy(b *testing.B) {
+	for _, variant := range benchAllocators {
+		for _, size := range []uint64{8, 128, 1024} {
+			for _, threads := range benchThreads() {
+				b.Run(fmt.Sprintf("%s/bytes=%d/threads=%d", variant, size, threads), func(b *testing.B) {
+					a := build(b, variant, benchInstance)
+					runWorkers(b, a, threads, func(h alloc.Handle, iters, id int) {
+						rng := rand.New(rand.NewSource(int64(id) + 1))
+						type chunk struct {
+							off  uint64
+							size uint64
+							ok   bool
+						}
+						// More chunks at smaller sizes, max 16x min size.
+						var pool []chunk
+						for c := 0; c < 5; c++ {
+							s := size << c
+							for k := 0; k < 16>>c; k++ {
+								off, ok := h.Alloc(s)
+								pool = append(pool, chunk{off, s, ok})
+							}
+						}
+						for i := 0; i < iters; i++ {
+							c := &pool[rng.Intn(len(pool))]
+							if c.ok {
+								h.Free(c.off)
+							}
+							c.off, c.ok = h.Alloc(c.size)
+						}
+						for _, c := range pool {
+							if c.ok {
+								h.Free(c.off)
+							}
+						}
+					})
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig12KernelComparison: the kernel-style configuration — 128 KB
+// chunks on a page-grained instance, the non-blocking allocators against
+// the Linux-style free-list buddy at full parallelism (paper Figure 12).
+func BenchmarkFig12KernelComparison(b *testing.B) {
+	threads := runtime.GOMAXPROCS(0)
+	const size = 128 << 10
+	for _, variant := range []string{"4lvl-nb", "1lvl-nb", "buddy-sl", "linux-buddy"} {
+		for _, pattern := range []string{"linux-scalability", "thread-test", "constant-occupancy"} {
+			b.Run(fmt.Sprintf("%s/%s/threads=%d", variant, pattern, threads), func(b *testing.B) {
+				a := build(b, variant, kernelInstance)
+				switch pattern {
+				case "linux-scalability":
+					runWorkers(b, a, threads, func(h alloc.Handle, iters, _ int) {
+						for i := 0; i < iters; i++ {
+							if off, ok := h.Alloc(size); ok {
+								h.Free(off)
+							}
+						}
+					})
+				case "thread-test":
+					runWorkers(b, a, threads, func(h alloc.Handle, iters, _ int) {
+						live := make([]uint64, 0, 16)
+						for done := 0; done < iters; {
+							live = live[:0]
+							for k := 0; k < 16 && done < iters; k++ {
+								if off, ok := h.Alloc(size); ok {
+									live = append(live, off)
+								}
+								done++
+							}
+							for _, off := range live {
+								h.Free(off)
+							}
+						}
+					})
+				case "constant-occupancy":
+					runWorkers(b, a, threads, func(h alloc.Handle, iters, id int) {
+						rng := rand.New(rand.NewSource(int64(id) + 1))
+						var pool []uint64
+						for k := 0; k < 8; k++ {
+							if off, ok := h.Alloc(size); ok {
+								pool = append(pool, off)
+							}
+						}
+						for i := 0; i < iters; i++ {
+							if len(pool) == 0 {
+								break
+							}
+							k := rng.Intn(len(pool))
+							h.Free(pool[k])
+							if off, ok := h.Alloc(size); ok {
+								pool[k] = off
+							} else {
+								pool[k] = pool[len(pool)-1]
+								pool = pool[:len(pool)-1]
+							}
+						}
+						for _, off := range pool {
+							h.Free(off)
+						}
+					})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationRMWCount quantifies §III.D's claim: the 4-level layout
+// cuts atomic RMW instructions per operation by ~4x on deep climbs. The
+// custom metrics RMW/op and CASfail/op are the point; ns/op is secondary.
+func BenchmarkAblationRMWCount(b *testing.B) {
+	for _, variant := range []string{"1lvl-nb", "4lvl-nb"} {
+		for _, size := range []uint64{8, 1024} {
+			b.Run(fmt.Sprintf("%s/bytes=%d", variant, size), func(b *testing.B) {
+				a := build(b, variant, benchInstance)
+				threads := runtime.GOMAXPROCS(0)
+				runWorkers(b, a, threads, func(h alloc.Handle, iters, _ int) {
+					for i := 0; i < iters; i++ {
+						if off, ok := h.Alloc(size); ok {
+							h.Free(off)
+						}
+					}
+				})
+				s := a.Stats()
+				if ops := s.OpsTotal(); ops > 0 {
+					b.ReportMetric(float64(s.RMW)/float64(ops), "RMW/op")
+					b.ReportMetric(float64(s.CASFail)/float64(ops), "CASfail/op")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationScatter measures the §III.B scattered scan start: with
+// it, concurrent same-level allocations spread over the level; without it,
+// they all fight for the first free node.
+func BenchmarkAblationScatter(b *testing.B) {
+	threads := runtime.GOMAXPROCS(0)
+	for _, scattered := range []bool{true, false} {
+		name := "scattered"
+		if !scattered {
+			name = "fixed-start"
+		}
+		b.Run(fmt.Sprintf("1lvl-nb/%s/threads=%d", name, threads), func(b *testing.B) {
+			var opts []core.Option
+			if !scattered {
+				opts = append(opts, core.WithoutScatter())
+			}
+			a, err := core.New(benchInstance.Total, benchInstance.MinSize, benchInstance.MaxSize, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runWorkers(b, a, threads, func(h alloc.Handle, iters, _ int) {
+				for i := 0; i < iters; i++ {
+					if off, ok := h.Alloc(64); ok {
+						h.Free(off)
+					}
+				}
+			})
+		})
+		b.Run(fmt.Sprintf("4lvl-nb/%s/threads=%d", name, threads), func(b *testing.B) {
+			var opts []bunch.Option
+			if !scattered {
+				opts = append(opts, bunch.WithoutScatter())
+			}
+			a, err := bunch.New(benchInstance.Total, benchInstance.MinSize, benchInstance.MaxSize, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runWorkers(b, a, threads, func(h alloc.Handle, iters, _ int) {
+				for i := 0; i < iters; i++ {
+					if off, ok := h.Alloc(64); ok {
+						h.Free(off)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAblationLockKind compares spin-lock flavors under the blocking
+// baseline, checking the baselines are not strawmen: the paper's gap must
+// hold against the best lock, not just the worst.
+func BenchmarkAblationLockKind(b *testing.B) {
+	threads := runtime.GOMAXPROCS(0)
+	for _, kind := range []string{"tas", "ttas", "ticket"} {
+		b.Run(fmt.Sprintf("1lvl-sl/%s/threads=%d", kind, threads), func(b *testing.B) {
+			cfg := benchInstance
+			cfg.LockKind = kind
+			a := build(b, "1lvl-sl", cfg)
+			runWorkers(b, a, threads, func(h alloc.Handle, iters, _ int) {
+				for i := 0; i < iters; i++ {
+					if off, ok := h.Alloc(64); ok {
+						h.Free(off)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAblationFrontend measures the future-work composition: the
+// Larson pattern straight on the back-end versus through per-worker
+// caching magazines.
+func BenchmarkAblationFrontend(b *testing.B) {
+	threads := runtime.GOMAXPROCS(0)
+	const slots = 2048
+	run := func(b *testing.B, mkHandle func() alloc.Handle, a alloc.Allocator) {
+		table := make([]atomic.Uint64, slots)
+		iters := b.N / threads
+		if iters == 0 {
+			iters = 1
+		}
+		handles := make([]alloc.Handle, threads)
+		for i := range handles {
+			handles[i] = mkHandle()
+		}
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for w := 0; w < threads; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				h := handles[w]
+				rng := rand.New(rand.NewSource(int64(w) + 1))
+				for i := 0; i < iters; i++ {
+					var repl uint64
+					if off, ok := h.Alloc(128); ok {
+						repl = off + 1
+					}
+					if old := table[rng.Intn(slots)].Swap(repl); old != 0 {
+						h.Free(old - 1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		for w := range handles {
+			if fh, ok := handles[w].(*frontend.Handle); ok {
+				fh.Flush()
+			}
+		}
+		for i := range table {
+			if v := table[i].Swap(0); v != 0 {
+				a.Free(v - 1)
+			}
+		}
+	}
+	b.Run(fmt.Sprintf("direct/threads=%d", threads), func(b *testing.B) {
+		a := build(b, "4lvl-nb", benchInstance)
+		run(b, a.NewHandle, a)
+	})
+	b.Run(fmt.Sprintf("cached/threads=%d", threads), func(b *testing.B) {
+		a := build(b, "4lvl-nb", benchInstance)
+		fe, err := frontend.New(a, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, fe.NewHandle, a)
+	})
+}
+
+// BenchmarkAblationFragmentation tests the paper's resilience claim (§I):
+// the non-blocking allocator should not degrade "independently of the
+// current level of fragmentation of the handled memory blocks", whereas
+// lock-based scans serialize behind longer critical sections as the tree
+// fills up. The instance is pre-fragmented to the given occupancy with
+// scattered min-size chunks before the timed churn.
+func BenchmarkAblationFragmentation(b *testing.B) {
+	threads := runtime.GOMAXPROCS(0)
+	for _, variant := range []string{"4lvl-nb", "1lvl-nb", "1lvl-sl", "buddy-sl"} {
+		for _, occupancy := range []int{0, 50, 90} {
+			b.Run(fmt.Sprintf("%s/occupancy=%d%%/threads=%d", variant, occupancy, threads), func(b *testing.B) {
+				cfg := alloc.Config{Total: 1 << 22, MinSize: 8, MaxSize: 16 << 10}
+				a := build(b, variant, cfg)
+				// Pre-fragment: fill `occupancy`% of the allocation units
+				// with 64-byte chunks, then free every other one so the
+				// remaining free space is maximally scattered.
+				pre := a.NewHandle()
+				units := int(cfg.Total / 64)
+				var planted []uint64
+				for i := 0; i < units*occupancy/100; i++ {
+					if off, ok := pre.Alloc(64); ok {
+						planted = append(planted, off)
+					}
+				}
+				for i := 0; i < len(planted); i += 2 {
+					pre.Free(planted[i])
+				}
+				runWorkers(b, a, threads, func(h alloc.Handle, iters, _ int) {
+					for i := 0; i < iters; i++ {
+						if off, ok := h.Alloc(64); ok {
+							h.Free(off)
+						}
+					}
+				})
+			})
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command nbbsbench runs one benchmark sweep: a workload over a grid of
+// allocator variants, thread counts and request sizes, on freshly built
+// single-instance allocators.
+//
+// Examples:
+//
+//	nbbsbench -workload linux-scalability -threads 4,8,16 -sizes 8,128 -scale 0.01
+//	nbbsbench -workload larson -alloc 4lvl-nb,buddy-sl -csv
+//	nbbsbench -workload constant-occupancy -scale 1 -reps 3   # paper volume
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/alloc"
+	"repro/internal/harness"
+	"repro/internal/workload"
+
+	_ "repro/internal/bunch"
+	_ "repro/internal/cloudwu"
+	_ "repro/internal/core"
+	_ "repro/internal/linuxbuddy"
+	_ "repro/internal/slbuddy"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "linux-scalability", "workload: linux-scalability | thread-test | larson | constant-occupancy")
+		allocators   = flag.String("alloc", strings.Join(harness.AllocatorsUserSpace, ","), "comma-separated allocator variants")
+		threads      = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+		sizes        = flag.String("sizes", "8,128,1024", "comma-separated request sizes in bytes")
+		total        = flag.Uint64("total", harness.UserSpaceInstance.Total, "managed bytes per instance (power of two)")
+		minSize      = flag.Uint64("min", harness.UserSpaceInstance.MinSize, "allocation unit in bytes (power of two)")
+		maxSize      = flag.Uint64("max", harness.UserSpaceInstance.MaxSize, "maximum request size in bytes (power of two)")
+		scale        = flag.Float64("scale", 0.01, "fraction of the paper's operation volumes (1 = 20M ops / 10s Larson window)")
+		reps         = flag.Int("reps", 1, "repetitions per cell (mean reported)")
+		seed         = flag.Int64("seed", 1, "workload RNG seed")
+		lockKind     = flag.String("lock", "", "spin-lock flavor for blocking variants: tas | ttas | ticket")
+		csv          = flag.Bool("csv", false, "emit CSV instead of tables")
+		kops         = flag.Bool("kops", false, "report KOps/s instead of seconds")
+		quiet        = flag.Bool("q", false, "suppress per-cell progress lines")
+	)
+	flag.Parse()
+
+	if _, ok := workload.Drivers[*workloadName]; !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q; valid: linux-scalability, thread-test, larson, constant-occupancy\n", *workloadName)
+		os.Exit(2)
+	}
+	threadList, err := harness.ParseThreads(*threads)
+	if err != nil {
+		fatal(err)
+	}
+	sizeList, err := harness.ParseSizes(*sizes)
+	if err != nil {
+		fatal(err)
+	}
+	sweep := harness.Sweep{
+		Workload:   *workloadName,
+		Allocators: strings.Split(*allocators, ","),
+		Threads:    threadList,
+		Sizes:      sizeList,
+		Instance:   alloc.Config{Total: *total, MinSize: *minSize, MaxSize: *maxSize, LockKind: *lockKind},
+		Scale:      *scale,
+		Reps:       *reps,
+		Seed:       *seed,
+	}
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	cells, err := sweep.Run(progress)
+	if err != nil {
+		fatal(err)
+	}
+	if *csv {
+		harness.CSV(os.Stdout, cells)
+		return
+	}
+	metric := harness.MetricSeconds
+	if *kops || *workloadName == "larson" {
+		metric = harness.MetricKOps
+	}
+	for _, size := range sizeList {
+		harness.Table(os.Stdout, fmt.Sprintf("%s - Bytes=%d", *workloadName, size), cells, size, sweep.Allocators, metric)
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nbbsbench:", err)
+	os.Exit(1)
+}

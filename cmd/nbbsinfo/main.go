@@ -1,0 +1,74 @@
+// Command nbbsinfo prints the derived tree geometry and metadata footprint
+// of a buddy-system configuration: levels, chunk sizes, node counts, and
+// the bytes of metadata each layout (1-level words vs 4-level bunches)
+// needs — a capacity-planning and teaching aid.
+//
+// Example:
+//
+//	nbbsinfo -total 67108864 -min 8 -max 16384
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/geometry"
+)
+
+func main() {
+	var (
+		total   = flag.Uint64("total", 64<<20, "managed bytes (power of two)")
+		minSize = flag.Uint64("min", 8, "allocation unit in bytes (power of two)")
+		maxSize = flag.Uint64("max", 16<<10, "maximum request size in bytes (power of two)")
+	)
+	flag.Parse()
+
+	geo, err := geometry.New(*total, *minSize, *maxSize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nbbsinfo:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("configuration: total=%d min=%d max=%d\n", geo.Total, geo.MinSize, geo.MaxSize)
+	fmt.Printf("tree depth: %d (leaves = allocation units: %d)\n", geo.Depth, geo.Leaves())
+	fmt.Printf("max level: %d (climb destination; chunk size %d)\n", geo.MaxLevel, geo.SizeOfLevel(geo.MaxLevel))
+	fmt.Printf("tree nodes: %d\n", geo.Nodes()-1)
+
+	fmt.Printf("\n%-6s %14s %14s %10s\n", "level", "chunk bytes", "nodes", "bunchleaf")
+	for l := 0; l <= geo.Depth; l++ {
+		leaf := ""
+		if geo.IsLeafLevel(l) {
+			leaf = "yes"
+		}
+		target := " "
+		if l == geo.MaxLevel {
+			target = "<- max level"
+		}
+		fmt.Printf("%-6d %14d %14d %10s %s\n", l, geo.SizeOfLevel(l), geometry.LevelWidth(l), leaf, target)
+	}
+
+	// Metadata footprints.
+	flatBytes := geo.Nodes() * 4 // one uint32 status word per node
+	var words uint64
+	for _, lvl := range geo.LeafLevels() {
+		words += geometry.WordsAtLevel(lvl)
+	}
+	bunchBytes := words * 8
+	indexBytes := geo.Leaves() * 4
+	fmt.Printf("\nmetadata footprint:\n")
+	fmt.Printf("  1lvl tree[] : %12d bytes (%.2f%% of managed memory)\n", flatBytes, pct(flatBytes, geo.Total))
+	fmt.Printf("  4lvl bunches: %12d bytes (%.2f%% of managed memory, %d words)\n", bunchBytes, pct(bunchBytes, geo.Total), words)
+	fmt.Printf("  index[]     : %12d bytes (%.2f%% of managed memory)\n", indexBytes, pct(indexBytes, geo.Total))
+
+	// RMW economics: climb lengths with and without bunches.
+	climb1 := geo.Depth - geo.MaxLevel
+	climb4 := 0
+	for lam := geo.LeafLevelFor(geo.Depth) - geometry.BunchSpan; lam >= geo.LeafLevelFor(geo.MaxLevel); lam -= geometry.BunchSpan {
+		climb4++
+	}
+	fmt.Printf("\nworst-case RMW per allocation (min-size chunk):\n")
+	fmt.Printf("  1lvl: %d (reserve + %d climb steps)\n", climb1+1, climb1)
+	fmt.Printf("  4lvl: %d (reserve + %d climb steps)\n", climb4+1, climb4)
+}
+
+func pct(part, whole uint64) float64 { return float64(part) / float64(whole) * 100 }

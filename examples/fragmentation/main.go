@@ -1,0 +1,100 @@
+// Fragmentation: watch the buddy tree's occupancy profile evolve under a
+// mixed-size workload — an introspection walkthrough using the public
+// API's diagnostics (ChunkSize, Stats) together with the level-occupancy
+// view exposed by the non-blocking allocators.
+//
+// The program runs three phases on one instance: a mixed-size fill, a
+// random partial release, and a coalescing drain, printing after each an
+// ASCII profile of how many chunks are live per level and how much of the
+// region each level holds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	nbbs "repro"
+)
+
+func main() {
+	var (
+		total = flag.Uint64("total", 1<<22, "managed bytes")
+		fill  = flag.Int("fill", 3000, "chunks to allocate in the fill phase")
+	)
+	flag.Parse()
+
+	b, err := nbbs.New(nbbs.Config{Total: *total, MinSize: 64, MaxSize: *total / 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	depth, maxLevel, _ := nbbs.Config{Total: *total, MinSize: 64, MaxSize: *total / 4}.Geometry()
+	fmt.Printf("instance: %s, %d bytes, levels %d..%d usable\n\n", b.Variant(), *total, maxLevel, depth)
+
+	rng := rand.New(rand.NewSource(7))
+	sizes := []uint64{64, 64, 64, 256, 1024, 4096, 16384}
+	var live []uint64
+
+	// Phase 1: mixed-size fill.
+	for i := 0; i < *fill; i++ {
+		if off, ok := b.Alloc(sizes[rng.Intn(len(sizes))]); ok {
+			live = append(live, off)
+		}
+	}
+	profile(b, "after mixed-size fill", live)
+
+	// Phase 2: release a random 60%.
+	rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	cut := len(live) * 2 / 5
+	for _, off := range live[cut:] {
+		b.Free(off)
+	}
+	live = live[:cut]
+	profile(b, "after releasing 60% at random", live)
+
+	// Phase 3: drain and show the coalesced state.
+	for _, off := range live {
+		b.Free(off)
+	}
+	live = nil
+	profile(b, "after full drain (buddies coalesced)", live)
+
+	// The proof of coalescing: a maximum-size chunk is allocatable again.
+	if off, ok := b.Alloc(*total / 4); ok {
+		fmt.Printf("max-size chunk allocatable again at offset %d\n", off)
+		b.Free(off)
+	} else if b.Scrub() {
+		fmt.Println("max-size alloc needed a metadata scrub first (see DESIGN.md residue note)")
+	}
+}
+
+// profile prints live-chunk counts and bytes aggregated by chunk size.
+func profile(b *nbbs.Buddy, title string, live []uint64) {
+	bySize := map[uint64]int{}
+	var usedBytes uint64
+	for _, off := range live {
+		size := b.ChunkSize(off)
+		bySize[size]++
+		usedBytes += size
+	}
+	fmt.Printf("-- %s: %d live chunks, %d bytes (%.1f%% of region)\n",
+		title, len(live), usedBytes, 100*float64(usedBytes)/float64(b.Total()))
+	for size := b.MinSize(); size <= b.MaxSize(); size <<= 1 {
+		n := bySize[size]
+		if n == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", min(60, n))
+		fmt.Printf("%8d B x%-5d %s\n", size, n, bar)
+	}
+	fmt.Println()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+// Webserver: a Larson-style server simulation on the public API — the
+// workload class the paper motivates with long-running servers whose
+// memory is allocated by one thread and released by another.
+//
+// A pool of worker goroutines serves simulated requests: each request
+// allocates a response buffer of a size drawn from a realistic mix,
+// parks it in a shared connection table, and releases whatever buffer the
+// displaced connection held — usually one allocated by a different worker.
+// Each worker uses a caching front-end handle (the paper's front-end /
+// back-end composition), so most requests never touch the back-end at all;
+// the run reports how much traffic the magazines absorbed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	nbbs "repro"
+)
+
+func main() {
+	var (
+		workers  = flag.Int("workers", 8, "concurrent request-serving goroutines")
+		duration = flag.Duration("duration", 2*time.Second, "simulation length")
+		conns    = flag.Int("conns", 2048, "simultaneous connections (shared table slots)")
+		variant  = flag.String("variant", nbbs.Variant4Lvl, "allocator variant")
+	)
+	flag.Parse()
+
+	b, err := nbbs.New(nbbs.Config{
+		Total:   64 << 20,
+		MinSize: 64,
+		MaxSize: 64 << 10,
+	}, nbbs.WithVariant(*variant))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Response-size mix: mostly small API responses, some page-sized, the
+	// occasional large asset. Values are rounded up by the buddy system.
+	sizes := []uint64{200, 200, 200, 1500, 1500, 4 << 10, 16 << 10, 64 << 10}
+
+	table := make([]atomic.Uint64, *conns) // 0 = empty, else offset+1
+	var served atomic.Uint64
+	deadline := time.Now().Add(*duration)
+
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := b.NewCachedHandle(32)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer h.Flush()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for time.Now().Before(deadline) {
+				for k := 0; k < 128; k++ {
+					size := sizes[rng.Intn(len(sizes))]
+					var repl uint64
+					if off, ok := h.Alloc(size); ok {
+						repl = off + 1
+					}
+					slot := &table[rng.Intn(len(table))]
+					if old := slot.Swap(repl); old != 0 {
+						h.Free(old - 1) // often allocated by another worker
+					}
+					served.Add(1)
+				}
+			}
+			cs := h.CacheStats()
+			fmt.Printf("worker %d: %5.1f%% of allocations served from magazines (%d hits, %d misses, %d spills)\n",
+				w, 100*float64(cs.Hits)/float64(cs.Hits+cs.Misses), cs.Hits, cs.Misses, cs.Spills)
+		}()
+	}
+	wg.Wait()
+
+	// Tear down live connections.
+	for i := range table {
+		if v := table[i].Swap(0); v != 0 {
+			b.Free(v - 1)
+		}
+	}
+	s := b.Stats()
+	fmt.Printf("\nserved %d requests in %v (%.0f req/s) on %s\n",
+		served.Load(), *duration, float64(served.Load())/duration.Seconds(), b.Variant())
+	fmt.Printf("back-end saw %d allocs / %d frees; magazines absorbed the rest\n", s.Allocs, s.Frees)
+}

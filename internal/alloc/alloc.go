@@ -1,0 +1,88 @@
+// Package alloc defines the allocator contract shared by the non-blocking
+// buddy system and all baseline allocators of the evaluation, together
+// with per-worker handles and the instrumentation counters the ablation
+// experiments report.
+//
+// All allocators manage a contiguous region and trade in offsets relative
+// to its base; offset 0 is a valid allocation, so the boolean result — not
+// a sentinel offset — signals failure, exactly like the paper's NBALLOC
+// returning NULL.
+package alloc
+
+import "repro/internal/geometry"
+
+// Allocator is a back-end buddy allocator instance.
+//
+// Alloc returns the offset of a chunk of at least size bytes and true, or
+// false if the current state of the instance cannot serve the request
+// (size too large, or no free node at the target level). Free releases a
+// previously allocated chunk by its offset.
+//
+// Alloc and Free on the Allocator itself are safe for concurrent use. For
+// hot loops, each worker should obtain its own Handle: handles carry the
+// per-worker scatter state that spreads same-level allocations across the
+// tree (paper §III.B) and per-worker statistics that avoid any shared
+// counter traffic on the measurement path.
+type Allocator interface {
+	// Name returns the evaluation label of the allocator, e.g. "1lvl-nb".
+	Name() string
+	// Geometry returns the instance's tree geometry.
+	Geometry() geometry.Geometry
+	// Alloc and Free serve one-off requests through an internal handle.
+	Alloc(size uint64) (offset uint64, ok bool)
+	Free(offset uint64)
+	// NewHandle returns a handle for a single worker goroutine. Handles
+	// must not be shared between goroutines.
+	NewHandle() Handle
+	// Stats aggregates the statistics of all handles created so far.
+	// It is intended for quiescent points (after a benchmark run).
+	Stats() Stats
+}
+
+// Handle is a per-worker view of an allocator. It is not safe for
+// concurrent use; create one Handle per goroutine.
+type Handle interface {
+	Alloc(size uint64) (offset uint64, ok bool)
+	Free(offset uint64)
+	// Stats returns the live counters of this handle.
+	Stats() *Stats
+}
+
+// ChunkSizer is implemented by allocators that can report the reserved
+// (power-of-two) size of a currently delivered chunk from their own
+// metadata. Front-end layers rely on it to classify frees without
+// trusting the caller to remember sizes. Implementations panic when the
+// offset is not currently allocated.
+type ChunkSizer interface {
+	ChunkSize(offset uint64) uint64
+}
+
+// Stats counts the work performed by an allocator handle. RMW counts the
+// atomic read-modify-write instructions issued (CAS attempts and atomic
+// adds), the metric the 4-level optimization is designed to reduce
+// (paper §III.D); CASFail counts the failed subset; Retries counts
+// operation-level restarts (a TryAlloc abort followed by a move to another
+// node); LockAcq counts lock acquisitions for blocking allocators.
+type Stats struct {
+	Allocs     uint64 // successful allocations
+	Frees      uint64 // successful releases
+	AllocFails uint64 // allocations that returned !ok
+	RMW        uint64 // atomic RMW instructions issued
+	CASFail    uint64 // failed CAS attempts
+	Retries    uint64 // node-level allocation retries (TryAlloc aborts)
+	LockAcq    uint64 // spin-lock acquisitions (blocking baselines only)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Allocs += other.Allocs
+	s.Frees += other.Frees
+	s.AllocFails += other.AllocFails
+	s.RMW += other.RMW
+	s.CASFail += other.CASFail
+	s.Retries += other.Retries
+	s.LockAcq += other.LockAcq
+}
+
+// OpsTotal returns the total completed operations (allocs + frees).
+func (s *Stats) OpsTotal() uint64 { return s.Allocs + s.Frees }

@@ -1,0 +1,66 @@
+package alloc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+type fakeAllocator struct{ name string }
+
+func (f *fakeAllocator) Name() string                { return f.name }
+func (f *fakeAllocator) Geometry() geometry.Geometry { return geometry.Geometry{} }
+func (f *fakeAllocator) Alloc(uint64) (uint64, bool) { return 0, false }
+func (f *fakeAllocator) Free(uint64)                 {}
+func (f *fakeAllocator) NewHandle() Handle           { return nil }
+func (f *fakeAllocator) Stats() Stats                { return Stats{} }
+
+func TestRegistry(t *testing.T) {
+	Register("test-fake", func(cfg Config) (Allocator, error) {
+		return &fakeAllocator{name: "test-fake"}, nil
+	})
+	a, err := Build("test-fake", Config{})
+	if err != nil || a.Name() != "test-fake" {
+		t.Fatalf("Build = %v, %v", a, err)
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test-fake" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered name missing from Names()")
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	_, err := Build("no-such-allocator", Config{})
+	if err == nil || !strings.Contains(err.Error(), "unknown allocator") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	Register("test-dup", func(Config) (Allocator, error) { return nil, nil })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register("test-dup", func(Config) (Allocator, error) { return nil, nil })
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Allocs: 1, Frees: 2, AllocFails: 3, RMW: 4, CASFail: 5, Retries: 6, LockAcq: 7}
+	b := Stats{Allocs: 10, Frees: 20, AllocFails: 30, RMW: 40, CASFail: 50, Retries: 60, LockAcq: 70}
+	a.Add(b)
+	want := Stats{Allocs: 11, Frees: 22, AllocFails: 33, RMW: 44, CASFail: 55, Retries: 66, LockAcq: 77}
+	if a != want {
+		t.Fatalf("Add = %+v, want %+v", a, want)
+	}
+	if a.OpsTotal() != 33 {
+		t.Fatalf("OpsTotal = %d, want 33", a.OpsTotal())
+	}
+}

@@ -1,0 +1,61 @@
+package alloc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Config carries everything needed to build any allocator variant of the
+// evaluation.
+type Config struct {
+	Total   uint64 // managed bytes (power of two)
+	MinSize uint64 // allocation unit (power of two)
+	MaxSize uint64 // largest single allocation (power of two)
+	// LockKind selects the spin-lock flavor for blocking baselines
+	// ("tas", "ttas", "ticket"); empty means the default TTAS.
+	LockKind string
+}
+
+// Factory builds an allocator instance from a config.
+type Factory func(Config) (Allocator, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// Register installs a factory under the allocator's evaluation label. The
+// concrete allocator packages register themselves in init functions so the
+// harness can enumerate variants without import cycles.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("alloc: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// Build constructs the named allocator variant.
+func Build(name string, cfg Config) (Allocator, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("alloc: unknown allocator %q (known: %v)", name, Names())
+	}
+	return f(cfg)
+}
+
+// Names lists the registered variants in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,48 @@
+// Package arena models the contiguous memory region a buddy-system
+// instance manages. The allocators themselves operate purely on metadata
+// and hand out offsets into the region (paper equation (3) computes
+// starting addresses relative to base_address); an Arena optionally
+// materializes the region as a byte slab so callers can actually read and
+// write the memory they were granted.
+//
+// Keeping materialization optional lets the benchmark harness measure pure
+// allocator behaviour — the paper's benchmarks never touch the allocated
+// payload either — without reserving gigabytes of RSS.
+package arena
+
+import "fmt"
+
+// Arena is a contiguous region of Total bytes, optionally backed by a slab.
+type Arena struct {
+	total uint64
+	slab  []byte
+}
+
+// New creates an arena of the given size. If materialize is true the
+// region is backed by real memory; otherwise only offsets exist.
+func New(total uint64, materialize bool) *Arena {
+	a := &Arena{total: total}
+	if materialize {
+		a.slab = make([]byte, total)
+	}
+	return a
+}
+
+// Total returns the region size in bytes.
+func (a *Arena) Total() uint64 { return a.total }
+
+// Materialized reports whether the region is backed by real memory.
+func (a *Arena) Materialized() bool { return a.slab != nil }
+
+// Bytes returns the [offset, offset+size) window of the region as a slice.
+// It panics if the arena is not materialized or the window is out of
+// bounds — both are caller bugs, not runtime conditions.
+func (a *Arena) Bytes(offset, size uint64) []byte {
+	if a.slab == nil {
+		panic("arena: Bytes on a non-materialized arena")
+	}
+	if offset+size > a.total || offset+size < offset {
+		panic(fmt.Sprintf("arena: window [%d,%d) outside region of %d bytes", offset, offset+size, a.total))
+	}
+	return a.slab[offset : offset+size : offset+size]
+}

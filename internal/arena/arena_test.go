@@ -1,0 +1,58 @@
+package arena
+
+import "testing"
+
+func TestMaterialized(t *testing.T) {
+	a := New(4096, true)
+	if !a.Materialized() || a.Total() != 4096 {
+		t.Fatal("materialized arena misreports itself")
+	}
+	w1 := a.Bytes(0, 64)
+	w2 := a.Bytes(64, 64)
+	for i := range w1 {
+		w1[i] = 0xAA
+	}
+	for _, b := range w2 {
+		if b != 0 {
+			t.Fatal("windows overlap")
+		}
+	}
+	if len(w1) != 64 || cap(w1) != 64 {
+		t.Fatalf("window len/cap = %d/%d, want 64/64", len(w1), cap(w1))
+	}
+	// Windows alias the region: rereading sees the writes.
+	if a.Bytes(0, 64)[0] != 0xAA {
+		t.Fatal("window does not alias the region")
+	}
+}
+
+func TestNotMaterialized(t *testing.T) {
+	a := New(4096, false)
+	if a.Materialized() {
+		t.Fatal("offset-only arena claims to be materialized")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Bytes on a non-materialized arena did not panic")
+		}
+	}()
+	a.Bytes(0, 1)
+}
+
+func TestOutOfBounds(t *testing.T) {
+	a := New(4096, true)
+	for _, c := range [][2]uint64{{4096, 1}, {4090, 16}, {^uint64(0), 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bytes(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			a.Bytes(c[0], c[1])
+		}()
+	}
+	// The full window is fine.
+	if len(a.Bytes(0, 4096)) != 4096 {
+		t.Error("full-region window failed")
+	}
+}

@@ -1,0 +1,11 @@
+package bunch_test
+
+import (
+	"testing"
+
+	"repro/internal/alloctest"
+
+	_ "repro/internal/bunch" // register 4lvl-nb
+)
+
+func TestConformance(t *testing.T) { alloctest.Run(t, "4lvl-nb") }

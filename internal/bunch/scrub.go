@@ -1,0 +1,47 @@
+package bunch
+
+import (
+	"repro/internal/geometry"
+	"repro/internal/status"
+)
+
+// Scrub rebuilds the bunch words from the set of live allocations recorded
+// in index[]. See the identical method on the 1-level allocator
+// (internal/core) for why stranded conservative markings can survive a
+// racing release. Scrub must only be called while no other operation is in
+// flight; it is a maintenance utility, not part of the paper's algorithm.
+func (a *Allocator) Scrub() {
+	var live []uint64
+	for slot := range a.index {
+		if n := a.index[slot].Load(); n != 0 {
+			live = append(live, uint64(n))
+		}
+	}
+	for w := range a.words {
+		a.words[w].Store(0)
+	}
+	lamStop := a.geo.LeafLevelFor(a.geo.MaxLevel)
+	for _, n := range live {
+		nLevel := geometry.LevelOf(n)
+		word, field, count, leafLevel := a.nodeWord(n)
+		word.Store(word.Load() | status.Fill(field, count, status.Busy))
+		for lam := leafLevel - geometry.BunchSpan; lam >= lamStop; lam -= geometry.BunchSpan {
+			anc := geometry.AncestorAt(n, nLevel, lam)
+			child := geometry.AncestorAt(n, nLevel, lam+1)
+			w, f := a.wordOf(anc, lam)
+			w.Store(status.WithField(w.Load(), f, status.Mark(status.Field(w.Load(), f), child)))
+		}
+	}
+}
+
+// LiveNodes returns the number of currently delivered chunks (quiescent
+// diagnostic).
+func (a *Allocator) LiveNodes() int {
+	live := 0
+	for slot := range a.index {
+		if a.index[slot].Load() != 0 {
+			live++
+		}
+	}
+	return live
+}

@@ -1,0 +1,11 @@
+package cloudwu_test
+
+import (
+	"testing"
+
+	"repro/internal/alloctest"
+
+	_ "repro/internal/cloudwu" // register buddy-sl
+)
+
+func TestConformance(t *testing.T) { alloctest.Run(t, "buddy-sl") }

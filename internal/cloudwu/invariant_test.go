@@ -1,0 +1,129 @@
+package cloudwu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/geometry"
+)
+
+// checkInvariants walks the state-machine tree and verifies the buddy.c
+// consistency rules at a quiescent point:
+//   - SPLIT: at least one descendant chunk is still available.
+//   - FULL: both children closed (USED or FULL), nothing available below.
+//   - USED/UNUSED: leaf of the logical decomposition; children (if any
+//     were materialized by earlier splits) are stale and unreachable.
+func checkInvariants(t *testing.T, a *Allocator) {
+	t.Helper()
+	var walk func(n uint64)
+	walk = func(n uint64) {
+		switch a.tree[n] {
+		case used, unused:
+			return // logical leaf; anything deeper is unreachable
+		case split:
+			l, r := geometry.Left(n), geometry.Right(n)
+			if a.closed(l) && a.closed(r) {
+				t.Fatalf("node %d SPLIT but both children closed (should be FULL)", n)
+			}
+			walk(l)
+			walk(r)
+		case full:
+			l, r := geometry.Left(n), geometry.Right(n)
+			if !a.closed(l) || !a.closed(r) {
+				t.Fatalf("node %d FULL but a child is open", n)
+			}
+			walk(l)
+			walk(r)
+		}
+	}
+	walk(1)
+}
+
+func TestStateMachineInvariants(t *testing.T) {
+	a, err := New(alloc.Config{Total: 1 << 13, MinSize: 8, MaxSize: 1 << 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	var live []uint64
+	for step := 0; step < 5000; step++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			k := rng.Intn(len(live))
+			a.Free(live[k])
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		} else if off, ok := a.Alloc(uint64(1) << (3 + rng.Intn(9))); ok {
+			live = append(live, off)
+		}
+		if step%500 == 0 {
+			checkInvariants(t, a)
+		}
+	}
+	for _, off := range live {
+		a.Free(off)
+	}
+	checkInvariants(t, a)
+	if a.tree[1] != unused {
+		t.Fatalf("root = %d after drain, want UNUSED", a.tree[1])
+	}
+}
+
+func TestFullMarkBlocksDescent(t *testing.T) {
+	a, err := New(alloc.Config{Total: 256, MinSize: 8, MaxSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the left half with 16 leaves, the right half with one chunk.
+	var leaves []uint64
+	for i := 0; i < 16; i++ {
+		off, ok := a.Alloc(8)
+		if !ok {
+			t.Fatal("leaf alloc failed")
+		}
+		leaves = append(leaves, off)
+	}
+	rightHalf, ok := a.Alloc(128)
+	if !ok {
+		t.Fatal("right-half alloc failed")
+	}
+	if a.tree[1] != full {
+		t.Fatalf("root = %d with everything taken, want FULL", a.tree[1])
+	}
+	if _, ok := a.Alloc(8); ok {
+		t.Fatal("alloc succeeded on a FULL tree")
+	}
+	// Freeing one leaf must reopen the path up to the root.
+	a.Free(leaves[0])
+	if a.tree[1] != split {
+		t.Fatalf("root = %d after partial free, want SPLIT", a.tree[1])
+	}
+	if _, ok := a.Alloc(8); !ok {
+		t.Fatal("alloc failed after reopening")
+	}
+	_ = rightHalf
+}
+
+func TestChunkSizeWalk(t *testing.T) {
+	a, err := New(alloc.Config{Total: 1 << 12, MinSize: 8, MaxSize: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off1, _ := a.Alloc(100) // rounds to 128
+	off2, _ := a.Alloc(8)
+	if got := a.ChunkSize(off1); got != 128 {
+		t.Fatalf("ChunkSize(big) = %d, want 128", got)
+	}
+	if got := a.ChunkSize(off2); got != 8 {
+		t.Fatalf("ChunkSize(small) = %d, want 8", got)
+	}
+	a.Free(off1)
+	a.Free(off2)
+	// ChunkSize of a freed offset panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("ChunkSize of a freed offset did not panic")
+		}
+	}()
+	a.ChunkSize(off1)
+}

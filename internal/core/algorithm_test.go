@@ -1,0 +1,215 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/status"
+)
+
+// TestTryAllocRollback forces the abort path of TryAlloc: a free-looking
+// leaf under a fully occupied ancestor must make the climb hit OCC, roll
+// every mark back, and land the allocation in the other half.
+func TestTryAllocRollback(t *testing.T) {
+	a := mustNew(t, 1024, 8, 1024, WithoutScatter())
+	h := a.newHandle()
+	half, ok := h.Alloc(512) // takes node 2 (scatter disabled)
+	if !ok || half != 0 {
+		t.Fatalf("half alloc = (%d,%v), want (0,true)", half, ok)
+	}
+	if !status.IsOcc(a.tree[2].Load()) {
+		t.Fatal("node 2 not OCC after the 512-byte allocation")
+	}
+	// Leaves under node 2 still look free: occupancy is not propagated
+	// downward (paper §III.A), so the scan will pick leaf 128 and the
+	// climb must abort on node 2.
+	if !status.IsFree(a.tree[128].Load()) {
+		t.Fatal("leaf under an occupied ancestor should look free")
+	}
+	small, ok := h.Alloc(8)
+	if !ok {
+		t.Fatal("small alloc failed")
+	}
+	if small < 512 {
+		t.Fatalf("small alloc landed at %d inside the occupied half", small)
+	}
+	if h.stats.Retries == 0 {
+		t.Fatal("no retry recorded: the abort path did not trigger")
+	}
+	// The aborted climb's path under node 2 must be fully rolled back.
+	for _, n := range []uint64{128, 64, 32, 16, 8, 4} {
+		if v := a.tree[n].Load(); v != 0 {
+			t.Fatalf("node %d left dirty after rollback: %s", n, status.String(v))
+		}
+	}
+	h.Free(small)
+	h.Free(half)
+}
+
+// TestSubtreeSkipLandsPastConflict checks the NBALLOC skip arithmetic
+// (lines A18-A19): after failing under an occupied ancestor the scan must
+// jump directly past the ancestor's subtree rather than probing every
+// descendant leaf.
+func TestSubtreeSkipLandsPastConflict(t *testing.T) {
+	a := mustNew(t, 1<<13, 8, 1<<13, WithoutScatter())
+	h := a.newHandle()
+	big, ok := h.Alloc(1 << 12) // occupies node 2: leaves 1024..1535 covered
+	if !ok {
+		t.Fatal("big alloc failed")
+	}
+	small, ok := h.Alloc(8)
+	if !ok {
+		t.Fatal("small alloc failed")
+	}
+	if small < 1<<12 {
+		t.Fatalf("small alloc at %d overlaps the big chunk", small)
+	}
+	// Exactly one abort: the skip must not retry inside node 2's subtree.
+	if h.stats.Retries != 1 {
+		t.Fatalf("retries = %d, want exactly 1 (subtree skip)", h.stats.Retries)
+	}
+	h.Free(big)
+	h.Free(small)
+}
+
+// TestCoalescingBitBlocksReservation pins the CAS(0, BUSY) semantics: a
+// pending coalescing bit on a node makes its direct reservation fail even
+// though the node is not busy (IsFree is true).
+func TestCoalescingBitBlocksReservation(t *testing.T) {
+	a := mustNew(t, 1024, 8, 1024, WithoutScatter())
+	h := a.newHandle()
+	// Plant a transient coalescing bit on node 2 (as a racing release
+	// would between its phase 1 and its unmark).
+	a.tree[2].Store(status.CoalLeft)
+	if !status.IsFree(a.tree[2].Load()) {
+		t.Fatal("coal-only node must still be IsFree")
+	}
+	off, ok := h.Alloc(512)
+	if !ok {
+		t.Fatal("alloc failed entirely")
+	}
+	if off != 512 {
+		t.Fatalf("alloc took the coalescing-marked node (offset %d), want the sibling at 512", off)
+	}
+	h.Free(off)
+	a.tree[2].Store(0)
+}
+
+// TestFreeClimbStopsAtOccupiedBuddy verifies the release climb arrests at
+// a fragmented buddy and leaves the parent's occupancy for the buddy
+// intact (Figure 4's early-arrest case).
+func TestFreeClimbStopsAtOccupiedBuddy(t *testing.T) {
+	a := mustNew(t, 1024, 8, 1024, WithoutScatter())
+	h := a.newHandle()
+	left, ok := h.Alloc(512) // node 2 (scan starts at the level base)
+	if !ok || left != 0 {
+		t.Fatalf("left alloc = (%d,%v), want node 2 at offset 0", left, ok)
+	}
+	right, ok := h.Alloc(512)
+	if !ok {
+		t.Fatal("right alloc failed")
+	}
+	h.Free(left)
+	// The root must still show the right branch occupied.
+	rootVal := a.tree[1].Load()
+	occRight := status.IsOccBuddy(rootVal, 2) // buddy of node 2 = node 3
+	occLeftGone := !status.IsOccBuddy(rootVal, 3)
+	if !occRight || !occLeftGone {
+		t.Fatalf("root = %s after freeing the left half", status.String(rootVal))
+	}
+	h.Free(right)
+	if v := a.tree[1].Load(); v != 0 {
+		t.Fatalf("root = %s after freeing both halves", status.String(v))
+	}
+}
+
+// TestIndexReuse verifies index[] slots recycle: the same offset delivered
+// again after a free maps to the right node and frees cleanly.
+func TestIndexReuse(t *testing.T) {
+	a := mustNew(t, 1024, 8, 1024, WithoutScatter())
+	h := a.newHandle()
+	for i := 0; i < 100; i++ {
+		off, ok := h.Alloc(64)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		if off != 0 {
+			t.Fatalf("iteration %d: deterministic first-fit returned %d, want 0", i, off)
+		}
+		h.Free(off)
+	}
+}
+
+// TestScatterSpreadsStarts verifies distinct handles begin scanning at
+// distinct slots (the §III.B refinement) while the no-scatter option pins
+// them all to the level start.
+func TestScatterSpreadsStarts(t *testing.T) {
+	a := mustNew(t, 1<<16, 8, 1<<16)
+	starts := map[uint64]bool{}
+	for i := 0; i < 16; i++ {
+		h := a.newHandle()
+		starts[h.scatterSlot(10)] = true
+	}
+	if len(starts) < 12 {
+		t.Fatalf("16 handles share %d distinct scan starts; want well spread", len(starts))
+	}
+	b := mustNew(t, 1<<16, 8, 1<<16, WithoutScatter())
+	for i := 0; i < 4; i++ {
+		if b.newHandle().scatterSlot(10) != 0 {
+			t.Fatal("no-scatter handle does not start at slot 0")
+		}
+	}
+}
+
+// TestConcurrentExhaustion injects allocation failure under concurrency:
+// with capacity for exactly N live max-size chunks, N+k workers fighting
+// for them must see exactly N successes at any instant and no corruption
+// after all release.
+func TestConcurrentExhaustion(t *testing.T) {
+	const capacity = 4
+	a := mustNew(t, 4*(1<<10), 8, 1<<10)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := a.NewHandle()
+			for i := 0; i < 5000; i++ {
+				if off, ok := h.Alloc(1 << 10); ok {
+					h.Free(off)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// All workers drained; the instance must again hold exactly 4 chunks.
+	var offs []uint64
+	for {
+		off, ok := a.Alloc(1 << 10)
+		if !ok {
+			break
+		}
+		offs = append(offs, off)
+	}
+	if len(offs) != capacity {
+		t.Fatalf("capacity after churn = %d chunks, want %d", len(offs), capacity)
+	}
+	for _, off := range offs {
+		a.Free(off)
+	}
+}
+
+// TestFreeUnalignedPanics exercises the misuse guards of NBFREE.
+func TestFreeUnalignedPanics(t *testing.T) {
+	a := mustNew(t, 1024, 8, 1024)
+	for _, off := range []uint64{3, 1025, 1 << 40} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Free(%d) did not panic", off)
+				}
+			}()
+			a.Free(off)
+		}()
+	}
+}

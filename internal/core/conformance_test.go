@@ -1,0 +1,11 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/alloctest"
+
+	_ "repro/internal/core" // register 1lvl-nb
+)
+
+func TestConformance(t *testing.T) { alloctest.Run(t, "1lvl-nb") }

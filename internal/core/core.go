@@ -1,0 +1,345 @@
+// Package core implements the paper's primary contribution: the 1-level
+// non-blocking buddy system (paper §III.A-C, Algorithms 1-4, evaluation
+// label "1lvl-nb").
+//
+// State is a static complete binary tree stored in an array with the root
+// at index 1. Every node carries five status bits (see internal/status);
+// every mutation is a single-word CAS, and an operation that loses a CAS
+// race either retries the same climb step (when the update remains
+// coherent) or aborts and moves to another node (when a conflicting
+// allocation reserved the chunk). No thread ever blocks another: the
+// algorithm is lock-free (paper appendix, Theorem A.1).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+	"repro/internal/geometry"
+	"repro/internal/status"
+)
+
+func init() {
+	alloc.Register("1lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
+		return NewFromConfig(cfg)
+	})
+}
+
+// Allocator is a single non-blocking buddy-system instance.
+type Allocator struct {
+	geo geometry.Geometry
+	// tree holds the five status bits of node n at tree[n]; index 0 is
+	// unused so node arithmetic matches the paper (root at 1).
+	tree []atomic.Uint32
+	// index maps allocation-unit slots (offset/MinSize) to the tree node
+	// that served the allocation starting there; 0 means "not delivered",
+	// which is what makes double frees detectable.
+	index []atomic.Uint32
+	// scatter disables the scattered scan start when false (ablation A2).
+	scatter bool
+
+	mu      sync.Mutex
+	handles []*Handle
+	nextID  uint64
+	pool    sync.Pool
+}
+
+// Option tweaks allocator construction.
+type Option func(*Allocator)
+
+// WithoutScatter makes every allocation scan its target level from the
+// first node, the configuration the scattered-start ablation compares
+// against.
+func WithoutScatter() Option { return func(a *Allocator) { a.scatter = false } }
+
+// New builds an instance managing total bytes with the given allocation
+// unit and maximum request size (all powers of two).
+func New(total, minSize, maxSize uint64, opts ...Option) (*Allocator, error) {
+	geo, err := geometry.New(total, minSize, maxSize)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithGeometry(geo, opts...), nil
+}
+
+// NewFromConfig adapts New to the registry factory signature.
+func NewFromConfig(cfg alloc.Config) (*Allocator, error) {
+	return New(cfg.Total, cfg.MinSize, cfg.MaxSize)
+}
+
+// NewWithGeometry builds an instance from an already-validated geometry.
+func NewWithGeometry(geo geometry.Geometry, opts ...Option) *Allocator {
+	if geo.Depth > 31 {
+		panic(fmt.Sprintf("core: depth %d exceeds the uint32 node-index range", geo.Depth))
+	}
+	a := &Allocator{
+		geo:     geo,
+		tree:    make([]atomic.Uint32, geo.Nodes()),
+		index:   make([]atomic.Uint32, geo.Leaves()),
+		scatter: true,
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	a.pool.New = func() any { return a.NewHandle() }
+	return a
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "1lvl-nb" }
+
+// Geometry implements alloc.Allocator.
+func (a *Allocator) Geometry() geometry.Geometry { return a.geo }
+
+// Alloc serves a one-off request through a pooled handle. Hot loops should
+// use NewHandle instead.
+func (a *Allocator) Alloc(size uint64) (uint64, bool) {
+	h := a.pool.Get().(*Handle)
+	off, ok := h.Alloc(size)
+	a.pool.Put(h)
+	return off, ok
+}
+
+// Free releases a chunk through a pooled handle.
+func (a *Allocator) Free(offset uint64) {
+	h := a.pool.Get().(*Handle)
+	h.Free(offset)
+	a.pool.Put(h)
+}
+
+// NewHandle implements alloc.Allocator.
+func (a *Allocator) NewHandle() alloc.Handle { return a.newHandle() }
+
+func (a *Allocator) newHandle() *Handle {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h := &Handle{a: a, id: a.nextID}
+	a.nextID++
+	a.handles = append(a.handles, h)
+	return h
+}
+
+// Stats implements alloc.Allocator; call it only at quiescent points.
+func (a *Allocator) Stats() alloc.Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var total alloc.Stats
+	for _, h := range a.handles {
+		total.Add(h.stats)
+	}
+	return total
+}
+
+// Handle is the per-worker face of the allocator (not safe for concurrent
+// use). It carries the scattered scan start that spreads concurrent
+// same-level allocations over different nodes, and private counters.
+type Handle struct {
+	a     *Allocator
+	id    uint64
+	seq   uint64
+	stats alloc.Stats
+}
+
+// Stats implements alloc.Handle.
+func (h *Handle) Stats() *alloc.Stats { return &h.stats }
+
+// scatterSlot picks the slot within a level where this handle starts
+// scanning — the paper's "starting from scattered points" refinement.
+// Multiplying the handle id by the 64-bit golden ratio and keeping the
+// top bits spreads any number of handles evenly across the level, and the
+// per-handle sequence rotates the start between allocations so a handle
+// does not re-walk its own previously delivered (still live) run of nodes
+// on every call.
+func (h *Handle) scatterSlot(level int) uint64 {
+	if !h.a.scatter || level == 0 {
+		return 0
+	}
+	base := (h.id * 0x9E3779B97F4A7C15) >> uint(64-level)
+	return (base + h.seq) & (geometry.LevelWidth(level) - 1)
+}
+
+// Alloc is the paper's NBALLOC (Algorithm 1). It identifies the target
+// level for the request, then scans that level for a free node and tries
+// to reserve it with TryAlloc; when TryAlloc fails because of an occupied
+// ancestor it skips the whole subtree of the conflicting node (lines
+// A18-A19) before probing further.
+func (h *Handle) Alloc(size uint64) (uint64, bool) {
+	geo := h.a.geo
+	if size > geo.MaxSize {
+		h.stats.AllocFails++
+		return 0, false
+	}
+	level := geo.LevelForSize(size)
+	base := geometry.FirstOfLevel(level)
+	end := base << 1 // one past the last node of the level
+	h.seq++
+	start := base + h.scatterSlot(level)
+
+	// Scan [start, end) and then wrap to [base, start): two linear passes
+	// keep the subtree-skip arithmetic identical to the paper's.
+	for pass := 0; pass < 2; pass++ {
+		lo, hi := start, end
+		if pass == 1 {
+			lo, hi = base, start
+		}
+		for i := lo; i < hi; {
+			if !status.IsFree(h.a.tree[i].Load()) {
+				i++
+				continue
+			}
+			failedAt := h.tryAlloc(i)
+			if failedAt == 0 {
+				offset := geo.OffsetOf(i)
+				h.a.index[geo.UnitIndex(offset)].Store(uint32(i))
+				h.stats.Allocs++
+				return offset, true
+			}
+			// The allocation lost to a chunk reserved at failedAt: every
+			// descendant of failedAt at this level is equally taken, so
+			// jump past the whole subtree.
+			h.stats.Retries++
+			d := uint64(1) << uint(level-geometry.LevelOf(failedAt))
+			next := (failedAt + 1) * d
+			if next <= i {
+				next = i + 1
+			}
+			i = next
+		}
+	}
+	h.stats.AllocFails++
+	return 0, false
+}
+
+// tryAlloc is the paper's TRYALLOC (Algorithm 2). It reserves node n with
+// a CAS from the all-clear state to BUSY, then climbs to the max level
+// marking each ancestor's branch as occupied (and clearing its coalescing
+// bit, so racing releases notice the branch was reused). It returns 0 on
+// success or the index of the node that made the allocation fail; in the
+// failure case all updates performed by the climb are rolled back through
+// freeNode before returning.
+func (h *Handle) tryAlloc(n uint64) uint64 {
+	h.stats.RMW++
+	if !h.a.tree[n].CompareAndSwap(0, status.Busy) {
+		h.stats.CASFail++
+		return n
+	}
+	maxLevel := h.a.geo.MaxLevel
+	current := n
+	for geometry.LevelOf(current) > maxLevel {
+		child := current
+		current = geometry.Parent(current)
+		for {
+			curVal := h.a.tree[current].Load()
+			if status.IsOcc(curVal) {
+				// An ancestor is fully reserved by another allocation:
+				// this chunk cannot be fragmented. Roll back what the
+				// climb marked so far and report the conflict point.
+				h.freeNode(n, geometry.LevelOf(child))
+				return current
+			}
+			newVal := status.Mark(status.CleanCoal(curVal, child), child)
+			h.stats.RMW++
+			if h.a.tree[current].CompareAndSwap(curVal, newVal) {
+				break
+			}
+			// A concurrent operation changed this node's other bits; the
+			// marking is still coherent, so re-read and retry the step.
+			h.stats.CASFail++
+		}
+	}
+	return 0
+}
+
+// Free is the paper's NBFREE (Algorithm 3): it recovers the node that
+// served the offset from index[] and runs the three-phase release up to
+// the max level. Freeing an offset that is not currently delivered (a
+// double free or a foreign pointer) panics, mirroring the abort-on-misuse
+// convention of production allocators.
+func (h *Handle) Free(offset uint64) {
+	slot := h.a.geo.UnitIndex(offset)
+	if offset >= h.a.geo.Total || offset%h.a.geo.MinSize != 0 {
+		panic(fmt.Sprintf("core: Free(%#x): offset outside the managed region or unaligned", offset))
+	}
+	n := h.a.index[slot].Swap(0)
+	if n == 0 {
+		panic(fmt.Sprintf("core: Free(%#x): offset not currently allocated (double free?)", offset))
+	}
+	h.freeNode(uint64(n), h.a.geo.MaxLevel)
+	h.stats.Frees++
+}
+
+// freeNode is the paper's FREENODE (Algorithm 3). upperBound is the LEVEL
+// the release must propagate to: MaxLevel for a real free, or the level of
+// the last node marked by an aborted TryAlloc climb for a rollback.
+//
+// Phase 1 marks the climb path as coalescing so racing operations know a
+// release is in flight; it stops early at a node whose other branch is
+// occupied (and not itself coalescing), because the merge cannot proceed
+// past a fragmented buddy. Phase 2 clears the released node in one store.
+// Phase 3 (unmark) walks the same path clearing the coalescing and
+// occupancy bits, unless a racing allocation already reused the branch.
+func (h *Handle) freeNode(n uint64, upperBound int) {
+	// Phase 1: flag the path as coalescing (lines F2-F18).
+	runner := n
+	current := geometry.Parent(n)
+	for geometry.LevelOf(runner) > upperBound {
+		orVal := status.CoalBit(runner)
+		var witnessed uint32
+		for {
+			curVal := h.a.tree[current].Load()
+			witnessed = curVal
+			h.stats.RMW++
+			if h.a.tree[current].CompareAndSwap(curVal, curVal|orVal) {
+				break
+			}
+			h.stats.CASFail++
+		}
+		if status.IsOccBuddy(witnessed, runner) && !status.IsCoalBuddy(witnessed, runner) {
+			// The buddy subtree is occupied: the release cannot merge past
+			// this node, so the climb is arrested here (paper Figure 4).
+			break
+		}
+		runner = current
+		current = geometry.Parent(current)
+	}
+
+	// Phase 2: release the node itself (line F19).
+	h.a.tree[n].Store(0)
+
+	// Phase 3: propagate the release towards the upper bound (Algorithm 4).
+	if geometry.LevelOf(n) != upperBound {
+		h.unmark(n, upperBound)
+	}
+}
+
+// unmark is the paper's UNMARK (Algorithm 4): climb from n towards the
+// upper bound clearing the coalescing and occupancy bits of the branch
+// being left. If the coalescing bit of a node is found already cleared, a
+// concurrent operation took over the branch (an allocation reused it, or
+// another release already cleaned it) and the climb stops; if the buddy of
+// the branch is occupied the merge cannot continue upward either.
+func (h *Handle) unmark(n uint64, upperBound int) {
+	current := n
+	for {
+		child := current
+		current = geometry.Parent(current)
+		var newVal uint32
+		for {
+			curVal := h.a.tree[current].Load()
+			if !status.IsCoal(curVal, child) {
+				return
+			}
+			newVal = status.Unmark(curVal, child)
+			h.stats.RMW++
+			if h.a.tree[current].CompareAndSwap(curVal, newVal) {
+				break
+			}
+			h.stats.CASFail++
+		}
+		if geometry.LevelOf(current) <= upperBound || status.IsOccBuddy(newVal, child) {
+			return
+		}
+	}
+}

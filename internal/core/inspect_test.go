@@ -1,0 +1,84 @@
+package core
+
+import "testing"
+
+func TestScrubPreservesLiveAllocations(t *testing.T) {
+	a := mustNew(t, 1<<12, 8, 1<<12)
+	h := a.newHandle()
+	off1, _ := h.Alloc(64)
+	off2, _ := h.Alloc(1024)
+	a.Scrub()
+	if got := a.ChunkSize(off1); got != 64 {
+		t.Fatalf("ChunkSize after scrub = %d, want 64", got)
+	}
+	if got := a.ChunkSize(off2); got != 1024 {
+		t.Fatalf("ChunkSize after scrub = %d, want 1024", got)
+	}
+	if _, ok := h.Alloc(1 << 12); ok {
+		t.Fatal("whole-region alloc succeeded over live chunks after scrub")
+	}
+	// With 1088 live bytes at most two of the four 1K quarters can be
+	// touched, so a 1K chunk is guaranteed allocatable wherever the live
+	// chunks landed.
+	if off, ok := h.Alloc(1024); !ok {
+		t.Fatal("free quarter not allocatable after scrub")
+	} else {
+		h.Free(off)
+	}
+	h.Free(off1)
+	h.Free(off2)
+}
+
+func TestLiveNodesAndFreeBytes(t *testing.T) {
+	a := mustNew(t, 1<<12, 8, 1<<12)
+	h := a.newHandle()
+	if a.LiveNodes() != 0 || a.FreeBytes() != 1<<12 {
+		t.Fatalf("fresh instance: live=%d free=%d", a.LiveNodes(), a.FreeBytes())
+	}
+	off1, _ := h.Alloc(100) // reserves 128
+	off2, _ := h.Alloc(8)
+	if a.LiveNodes() != 2 {
+		t.Fatalf("LiveNodes = %d, want 2", a.LiveNodes())
+	}
+	if got := a.FreeBytes(); got != 1<<12-128-8 {
+		t.Fatalf("FreeBytes = %d, want %d", got, 1<<12-128-8)
+	}
+	h.Free(off1)
+	h.Free(off2)
+	if a.LiveNodes() != 0 || a.FreeBytes() != 1<<12 {
+		t.Fatalf("after drain: live=%d free=%d", a.LiveNodes(), a.FreeBytes())
+	}
+}
+
+func TestOccupancyByLevel(t *testing.T) {
+	a := mustNew(t, 1<<12, 8, 1<<12) // depth 9
+	h := a.newHandle()
+	off1, _ := h.Alloc(8)    // level 9
+	off2, _ := h.Alloc(8)    // level 9
+	off3, _ := h.Alloc(1024) // level 2
+	counts := a.OccupancyByLevel()
+	if counts[9] != 2 || counts[2] != 1 {
+		t.Fatalf("OccupancyByLevel = %v", counts)
+	}
+	h.Free(off1)
+	h.Free(off2)
+	h.Free(off3)
+}
+
+func TestChunkSizeMisuse(t *testing.T) {
+	a := mustNew(t, 1<<12, 8, 1<<12)
+	for _, f := range []func(){
+		func() { a.ChunkSize(3) },
+		func() { a.ChunkSize(1 << 13) },
+		func() { a.ChunkSize(8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("ChunkSize misuse did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"repro/internal/geometry"
+	"repro/internal/status"
+)
+
+// Scrub rebuilds the status tree from the set of live allocations recorded
+// in index[]. It exists because the non-blocking release path is allowed
+// to stop propagating early when it races with concurrent operations
+// (Algorithm 4 returns on a cleared coalescing bit or an occupied buddy),
+// which can strand conservative occupied/coalescing markings on nodes
+// whose subtrees are in fact free. Such residue never violates safety —
+// the stale bits only ever claim MORE occupancy than real — but it can
+// make high-level allocations fail on a lightly loaded instance until
+// later operations re-clean the path.
+//
+// Scrub must only be called while no other operation is in flight (a
+// maintenance point); it is not part of the paper's algorithm and the
+// benchmarks never use it.
+func (a *Allocator) Scrub() {
+	// Collect the live nodes first: index[] holds the serving node at the
+	// head unit of each delivered chunk.
+	var live []uint64
+	for slot := range a.index {
+		if n := a.index[slot].Load(); n != 0 {
+			live = append(live, uint64(n))
+		}
+	}
+	for n := range a.tree {
+		a.tree[n].Store(0)
+	}
+	maxLevel := a.geo.MaxLevel
+	for _, n := range live {
+		a.tree[n].Store(status.Busy)
+		child := n
+		for geometry.LevelOf(child) > maxLevel {
+			parent := geometry.Parent(child)
+			a.tree[parent].Store(status.Mark(a.tree[parent].Load(), child))
+			child = parent
+		}
+	}
+}
+
+// LiveNodes returns the number of currently delivered chunks (quiescent
+// diagnostic).
+func (a *Allocator) LiveNodes() int {
+	live := 0
+	for slot := range a.index {
+		if a.index[slot].Load() != 0 {
+			live++
+		}
+	}
+	return live
+}

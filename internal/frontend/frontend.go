@@ -1,0 +1,169 @@
+// Package frontend implements a caching front-end allocator layered over
+// any back-end instance — the composition the paper's conclusions point
+// to as future work ("embed our solution in front-end allocators allowing
+// them to interact more frequently with the back-end allocator, thanks to
+// its increased scalability").
+//
+// Each worker handle keeps small per-size-class magazines of chunks
+// obtained from the back-end: allocations are served from the magazine
+// when possible and frees refill it, spilling half back to the back-end
+// when a magazine overflows. This is the classic quick-list/magazine
+// discipline of cached kernel allocators [3]; the interesting property in
+// combination with the non-blocking back-end is that magazine misses and
+// spills — the cross-thread contention points of a cached design — hit an
+// allocator that does not serialize them.
+package frontend
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/geometry"
+)
+
+// DefaultMagazine is the per-class magazine capacity.
+const DefaultMagazine = 32
+
+// Allocator is a caching front-end over a back-end instance.
+type Allocator struct {
+	backend alloc.Allocator
+	sizer   alloc.ChunkSizer
+	geo     geometry.Geometry
+	magCap  int
+}
+
+// New layers a front-end over the given back-end, which must implement
+// alloc.ChunkSizer (all allocators in this repository do): frees enter the
+// magazine of the size class the chunk was reserved at, which only the
+// back-end metadata knows.
+func New(backend alloc.Allocator, magCap int) (*Allocator, error) {
+	sizer, ok := backend.(alloc.ChunkSizer)
+	if !ok {
+		return nil, fmt.Errorf("frontend: backend %s cannot report chunk sizes", backend.Name())
+	}
+	if magCap <= 0 {
+		magCap = DefaultMagazine
+	}
+	return &Allocator{backend: backend, sizer: sizer, geo: backend.Geometry(), magCap: magCap}, nil
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "cached+" + a.backend.Name() }
+
+// Geometry implements alloc.Allocator.
+func (a *Allocator) Geometry() geometry.Geometry { return a.geo }
+
+// Backend exposes the wrapped back-end (for statistics and tests).
+func (a *Allocator) Backend() alloc.Allocator { return a.backend }
+
+// Alloc implements alloc.Allocator by passing through to the back-end:
+// caching only pays per-worker, so the convenience path does not cache.
+func (a *Allocator) Alloc(size uint64) (uint64, bool) { return a.backend.Alloc(size) }
+
+// Free implements alloc.Allocator (pass-through, see Alloc).
+func (a *Allocator) Free(offset uint64) { a.backend.Free(offset) }
+
+// Stats implements alloc.Allocator; it reports the back-end's counters
+// (the interesting metric: how much traffic the magazines absorbed is the
+// difference against the front-end handles' CacheStats).
+func (a *Allocator) Stats() alloc.Stats { return a.backend.Stats() }
+
+// NewHandle implements alloc.Allocator.
+func (a *Allocator) NewHandle() alloc.Handle {
+	classes := a.geo.Depth - a.geo.MaxLevel + 1
+	return &Handle{
+		a:    a,
+		back: a.backend.NewHandle(),
+		mags: make([][]uint64, classes),
+	}
+}
+
+// CacheStats counts magazine behaviour per handle.
+type CacheStats struct {
+	Hits    uint64 // allocations served from a magazine
+	Misses  uint64 // allocations that went to the back-end
+	Spills  uint64 // chunks returned to the back-end on magazine overflow
+	Refills uint64 // frees absorbed into a magazine
+}
+
+// Handle is the per-worker caching face. It is not safe for concurrent
+// use. Call Flush before dropping a handle, or its cached chunks stay
+// reserved in the back-end.
+type Handle struct {
+	a     *Allocator
+	back  alloc.Handle
+	mags  [][]uint64 // per level-class stacks of cached offsets
+	stats alloc.Stats
+	cache CacheStats
+}
+
+func (h *Handle) class(level int) int { return level - h.a.geo.MaxLevel }
+
+// Alloc serves from the size class magazine, falling back to the back-end.
+func (h *Handle) Alloc(size uint64) (uint64, bool) {
+	if size > h.a.geo.MaxSize {
+		h.stats.AllocFails++
+		return 0, false
+	}
+	cls := h.class(h.a.geo.LevelForSize(size))
+	if mag := h.mags[cls]; len(mag) > 0 {
+		off := mag[len(mag)-1]
+		h.mags[cls] = mag[:len(mag)-1]
+		h.cache.Hits++
+		h.stats.Allocs++
+		return off, true
+	}
+	h.cache.Misses++
+	off, ok := h.back.Alloc(size)
+	if ok {
+		h.stats.Allocs++
+	} else {
+		h.stats.AllocFails++
+	}
+	return off, ok
+}
+
+// Free pushes the chunk into its class magazine, spilling the older half
+// to the back-end when the magazine is full.
+func (h *Handle) Free(offset uint64) {
+	size := h.a.sizer.ChunkSize(offset)
+	cls := h.class(h.a.geo.LevelForSize(size))
+	mag := h.mags[cls]
+	if len(mag) >= h.a.magCap {
+		spill := len(mag) / 2
+		for _, off := range mag[:spill] {
+			h.back.Free(off)
+			h.cache.Spills++
+		}
+		mag = append(mag[:0], mag[spill:]...)
+	}
+	h.mags[cls] = append(mag, offset)
+	h.cache.Refills++
+	h.stats.Frees++
+}
+
+// Flush returns every cached chunk to the back-end.
+func (h *Handle) Flush() {
+	for cls, mag := range h.mags {
+		for _, off := range mag {
+			h.back.Free(off)
+			h.cache.Spills++
+		}
+		h.mags[cls] = mag[:0]
+	}
+}
+
+// Cached returns the number of chunks currently held in magazines.
+func (h *Handle) Cached() int {
+	n := 0
+	for _, mag := range h.mags {
+		n += len(mag)
+	}
+	return n
+}
+
+// CacheStats returns the magazine counters.
+func (h *Handle) CacheStats() CacheStats { return h.cache }
+
+// Stats implements alloc.Handle.
+func (h *Handle) Stats() *alloc.Stats { return &h.stats }

@@ -1,0 +1,63 @@
+package geometry
+
+// Bunch layout for the 4-level optimization (paper §III.D).
+//
+// Tree levels are partitioned into groups of (at most) four consecutive
+// levels called bunches. Only the deepest level of each bunch — the "bunch
+// leaves" — is materialized in memory: 8 bunch leaves × 5 status bits = 40
+// bits packed into one 64-bit word. The state of the 7 interior nodes of a
+// bunch is derived from its leaves (partial occupancy = OR of children
+// occupancy, full occupancy = AND of children occupancy), so one CAS on a
+// bunch word covers 4 tree levels.
+//
+// We align bunch-leaf levels from the BOTTOM of the tree (Depth, Depth-4,
+// Depth-8, ...), so the tree leaves — the nodes touched by minimum-size
+// allocations, by far the most frequent — are always bunch leaves. The
+// topmost bunch may therefore be partial (fewer than 4 levels); when
+// Depth%4 == 0 it degenerates to the root alone, whose "bunch" has a
+// single leaf: itself.
+
+// BunchSpan is the number of tree levels covered by a full bunch.
+const BunchSpan = 4
+
+// LeafLevelFor returns Λ(level): the bunch-leaf level that materializes the
+// state of a node at the given level. It is the smallest materialized level
+// ≥ level; materialized levels are congruent to Depth modulo 4.
+func (g Geometry) LeafLevelFor(level int) int {
+	return g.Depth - (g.Depth-level)/BunchSpan*BunchSpan
+}
+
+// IsLeafLevel reports whether a level is materialized in the bunch layout.
+func (g Geometry) IsLeafLevel(level int) bool { return (g.Depth-level)%BunchSpan == 0 }
+
+// CoveredLeaves returns the contiguous run of bunch-leaf nodes that carry
+// the state of node n: the descendants of n at LeafLevelFor(level(n)).
+// first is the index of the leftmost covered leaf and count ∈ {1,2,4,8}.
+// The run is always contained in a single bunch word.
+func (g Geometry) CoveredLeaves(n uint64) (first uint64, count int) {
+	shift := uint(g.LeafLevelFor(LevelOf(n)) - LevelOf(n))
+	return n << shift, 1 << shift
+}
+
+// WordOf locates the bunch word holding a bunch-leaf node: the per-level
+// slot of the leaf divided by 8, and the field position within the word.
+// leafLevel must be the (materialized) level of leaf.
+func WordOf(leaf uint64, leafLevel int) (word uint64, field int) {
+	slot := leaf - FirstOfLevel(leafLevel)
+	return slot >> 3, int(slot & 7)
+}
+
+// WordsAtLevel returns how many bunch words a materialized level needs.
+func WordsAtLevel(level int) uint64 {
+	w := LevelWidth(level)
+	return (w + 7) >> 3
+}
+
+// LeafLevels returns the materialized levels from deepest to shallowest.
+func (g Geometry) LeafLevels() []int {
+	var levels []int
+	for l := g.Depth; l >= 0; l -= BunchSpan {
+		levels = append(levels, l)
+	}
+	return levels
+}

@@ -1,0 +1,113 @@
+package geometry
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLeafLevels(t *testing.T) {
+	g := MustNew(1<<14, 8, 1<<14) // depth 11
+	want := []int{11, 7, 3}
+	got := g.LeafLevels()
+	if len(got) != len(want) {
+		t.Fatalf("LeafLevels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LeafLevels = %v, want %v", got, want)
+		}
+	}
+	for _, l := range want {
+		if !g.IsLeafLevel(l) {
+			t.Errorf("IsLeafLevel(%d) = false", l)
+		}
+	}
+	if g.IsLeafLevel(5) || g.IsLeafLevel(0) {
+		t.Error("non-materialized level reported as leaf level")
+	}
+}
+
+func TestLeafLevelFor(t *testing.T) {
+	g := MustNew(1<<14, 8, 1<<14) // depth 11, materialized {11,7,3}
+	cases := map[int]int{0: 3, 1: 3, 3: 3, 4: 7, 5: 7, 7: 7, 8: 11, 11: 11}
+	for level, want := range cases {
+		if got := g.LeafLevelFor(level); got != want {
+			t.Errorf("LeafLevelFor(%d) = %d, want %d", level, got, want)
+		}
+	}
+}
+
+func TestCoveredLeaves(t *testing.T) {
+	g := MustNew(1<<14, 8, 1<<14)
+	// A node at a materialized level covers itself.
+	if first, count := g.CoveredLeaves(1 << 11); first != 1<<11 || count != 1 {
+		t.Errorf("CoveredLeaves(leaf) = (%d,%d)", first, count)
+	}
+	// A node 3 levels above a materialized level covers 8 leaves.
+	if first, count := g.CoveredLeaves(1 << 8); first != 1<<11 || count != 8 {
+		t.Errorf("CoveredLeaves(bunch root) = (%d,%d)", first, count)
+	}
+	// The tree root covers the top bunch's leaves at level 3.
+	if first, count := g.CoveredLeaves(1); first != 8 || count != 8 {
+		t.Errorf("CoveredLeaves(root) = (%d,%d)", first, count)
+	}
+}
+
+func TestWordOf(t *testing.T) {
+	if w, f := WordOf(1<<11, 11); w != 0 || f != 0 {
+		t.Errorf("WordOf(first leaf) = (%d,%d)", w, f)
+	}
+	if w, f := WordOf(1<<11+13, 11); w != 1 || f != 5 {
+		t.Errorf("WordOf(leaf 13) = (%d,%d)", w, f)
+	}
+}
+
+func TestWordsAtLevel(t *testing.T) {
+	if WordsAtLevel(11) != 256 {
+		t.Errorf("WordsAtLevel(11) = %d, want 256", WordsAtLevel(11))
+	}
+	if WordsAtLevel(1) != 1 || WordsAtLevel(0) != 1 {
+		t.Error("partial top levels must still get one word")
+	}
+}
+
+// Property: every node's covered leaves land in one 8-aligned word, and
+// distinct same-level nodes never share covered fields.
+func TestQuickCoveredLeavesWordContainment(t *testing.T) {
+	g := MustNew(1<<16, 8, 1<<16) // depth 13, materialized {13,9,5,1}
+	f := func(raw uint64) bool {
+		n := raw%(g.Nodes()-1) + 1
+		first, count := g.CoveredLeaves(n)
+		lam := g.LeafLevelFor(LevelOf(n))
+		if LevelOf(first) != lam {
+			return false
+		}
+		w1, f1 := WordOf(first, lam)
+		w2, f2 := WordOf(first+uint64(count)-1, lam)
+		return w1 == w2 && f2 == f1+count-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: covered-leaf ranges of a node and its sibling are disjoint and
+// together exactly cover their parent's range (when in the same bunch) —
+// the derivation rule of paper Figure 6.
+func TestQuickCoveredLeavesSiblingPartition(t *testing.T) {
+	g := MustNew(1<<16, 8, 1<<16)
+	f := func(raw uint64) bool {
+		n := raw%(g.Nodes()/2-1) + 1 // non-leaf node
+		l, r := Left(n), Right(n)
+		if g.LeafLevelFor(LevelOf(l)) != g.LeafLevelFor(LevelOf(n)) {
+			return true // children start a new bunch; derivation crosses words
+		}
+		fl, cl := g.CoveredLeaves(l)
+		fr, cr := g.CoveredLeaves(r)
+		fn, cn := g.CoveredLeaves(n)
+		return fl == fn && fr == fl+uint64(cl) && cl+cr == cn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

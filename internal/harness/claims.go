@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The paper's evaluation makes qualitative claims — who wins, how curves
+// move with concurrency — that survive machine changes even when absolute
+// numbers do not. This file encodes those claims as executable checks so
+// a reproduction run can grade itself: cmd/nbbsfig -check prints one
+// PASS/FAIL line per claim per figure panel.
+
+// ClaimResult is the verdict of one claim on one figure panel.
+type ClaimResult struct {
+	Figure int
+	Panel  string // e.g. "linux-scalability Bytes=8"
+	Claim  string
+	OK     bool
+	Detail string
+}
+
+// nonBlocking and lockBased partition an allocator list.
+func partition(allocators []string) (nb, sl []string) {
+	for _, a := range allocators {
+		if a == "4lvl-nb" || a == "1lvl-nb" {
+			nb = append(nb, a)
+		} else {
+			sl = append(sl, a)
+		}
+	}
+	return nb, sl
+}
+
+// panelValues extracts metric values for one (workload, size, allocator)
+// series ordered by thread count.
+func panelValues(cells []Cell, workload string, size uint64, allocator string, m Metric) (threads []int, vals []float64) {
+	byThread := map[int]float64{}
+	for _, c := range cells {
+		if c.Workload == workload && c.Size == size && c.Allocator == allocator {
+			byThread[c.Threads] = m.value(c)
+		}
+	}
+	for t := range byThread {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+	for _, t := range threads {
+		vals = append(vals, byThread[t])
+	}
+	return threads, vals
+}
+
+// EvaluateShape grades the paper's shape claims for one figure's cells.
+func EvaluateShape(f Figure, cells []Cell) []ClaimResult {
+	var results []ClaimResult
+	for _, sw := range f.Sweeps {
+		for _, size := range sw.Sizes {
+			panel := fmt.Sprintf("%s Bytes=%d", sw.Workload, size)
+			results = append(results, evaluatePanel(f, sw, cells, size, panel)...)
+		}
+	}
+	return results
+}
+
+func evaluatePanel(f Figure, sw Sweep, cells []Cell, size uint64, panel string) []ClaimResult {
+	nb, sl := partition(sw.Allocators)
+	var out []ClaimResult
+	add := func(claim string, ok bool, detail string) {
+		out = append(out, ClaimResult{Figure: f.ID, Panel: panel, Claim: claim, OK: ok, Detail: detail})
+	}
+	// Values at the top thread count, per allocator.
+	top := map[string]float64{}
+	for _, a := range sw.Allocators {
+		threads, vals := panelValues(cells, sw.Workload, size, a, f.Metric)
+		if len(vals) == 0 {
+			continue
+		}
+		_ = threads
+		top[a] = vals[len(vals)-1]
+	}
+	if len(top) == 0 {
+		return out
+	}
+	higherIsBetter := f.Metric == MetricKOps
+
+	best := func(names []string) (string, float64) {
+		bestName, bestVal := "", 0.0
+		for _, n := range names {
+			v, ok := top[n]
+			if !ok {
+				continue
+			}
+			if bestName == "" || (higherIsBetter && v > bestVal) || (!higherIsBetter && v < bestVal) {
+				bestName, bestVal = n, v
+			}
+		}
+		return bestName, bestVal
+	}
+
+	// Claim 1: at the top thread count, the best non-blocking variant
+	// beats the best lock-based one (paper: 9-95% gains at 32 threads).
+	// On Figure 12 the paper's own claim is weaker — "comparable" on the
+	// Constant Occupancy panel — so there the executable claim is parity
+	// within 2x rather than a strict win.
+	if len(nb) > 0 && len(sl) > 0 {
+		nbName, nbVal := best(nb)
+		slName, slVal := best(sl)
+		claim := "non-blocking wins at top thread count"
+		slack := 1.0
+		if f.ID == 12 {
+			claim = "non-blocking wins or is comparable (2x) at top thread count"
+			slack = 2.0
+		}
+		var ok bool
+		if higherIsBetter {
+			ok = nbVal*slack >= slVal
+		} else {
+			ok = nbVal <= slVal*slack
+		}
+		add(claim, ok, fmt.Sprintf("%s=%.4g vs %s=%.4g", nbName, nbVal, slName, slVal))
+	}
+
+	// Claim 2: the non-blocking variants scale — the top-thread value is
+	// better than the bottom-thread value (time falls / throughput rises
+	// with more threads at fixed total work).
+	for _, a := range nb {
+		_, vals := panelValues(cells, sw.Workload, size, a, f.Metric)
+		if len(vals) < 2 {
+			continue
+		}
+		ok := (higherIsBetter && vals[len(vals)-1] > vals[0]) ||
+			(!higherIsBetter && vals[len(vals)-1] < vals[0])
+		add(fmt.Sprintf("%s improves with thread count", a), ok,
+			fmt.Sprintf("first=%.4g last=%.4g", vals[0], vals[len(vals)-1]))
+	}
+
+	// Claim 3: lock-based variants do NOT scale: flat or degrading, i.e.
+	// the top-thread value is no better than 1.5x the bottom-thread one.
+	for _, a := range sl {
+		_, vals := panelValues(cells, sw.Workload, size, a, f.Metric)
+		if len(vals) < 2 {
+			continue
+		}
+		var ok bool
+		if higherIsBetter {
+			ok = vals[len(vals)-1] < vals[0]*1.5
+		} else {
+			ok = vals[len(vals)-1] > vals[0]/1.5
+		}
+		add(fmt.Sprintf("%s does not scale", a), ok,
+			fmt.Sprintf("first=%.4g last=%.4g", vals[0], vals[len(vals)-1]))
+	}
+	return out
+}
+
+// ReportClaims renders claim results and returns how many failed.
+func ReportClaims(w io.Writer, results []ClaimResult) (failed int) {
+	for _, r := range results {
+		status := "PASS"
+		if !r.OK {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "[%s] fig %d %-40s %-45s %s\n", status, r.Figure, r.Panel, r.Claim, r.Detail)
+	}
+	return failed
+}

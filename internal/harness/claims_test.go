@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// synth builds a synthetic cell.
+func synth(wl, allocator string, size uint64, threads int, seconds float64) Cell {
+	return Cell{
+		Result: workload.Result{
+			Workload:  wl,
+			Allocator: allocator,
+			Size:      size,
+			Threads:   threads,
+			Elapsed:   time.Duration(seconds * float64(time.Second)),
+			Ops:       uint64(1e6),
+		},
+		Summary: stats.Summarize([]float64{seconds}),
+	}
+}
+
+func figureForTest() Figure {
+	return Figure{
+		ID:     8,
+		Metric: MetricSeconds,
+		Sweeps: []Sweep{{
+			Workload:   "linux-scalability",
+			Allocators: []string{"1lvl-nb", "1lvl-sl"},
+			Threads:    []int{4, 32},
+			Sizes:      []uint64{8},
+		}},
+	}
+}
+
+func TestClaimsPassOnPaperShape(t *testing.T) {
+	f := figureForTest()
+	cells := []Cell{
+		synth("linux-scalability", "1lvl-nb", 8, 4, 0.40),
+		synth("linux-scalability", "1lvl-nb", 8, 32, 0.06), // scales
+		synth("linux-scalability", "1lvl-sl", 8, 4, 0.15),
+		synth("linux-scalability", "1lvl-sl", 8, 32, 0.14), // flat
+	}
+	results := EvaluateShape(f, cells)
+	if len(results) != 3 {
+		t.Fatalf("got %d claims, want 3", len(results))
+	}
+	for _, r := range results {
+		if !r.OK {
+			t.Errorf("claim %q failed on paper-shaped data: %s", r.Claim, r.Detail)
+		}
+	}
+}
+
+func TestClaimsFailOnInvertedShape(t *testing.T) {
+	f := figureForTest()
+	cells := []Cell{
+		synth("linux-scalability", "1lvl-nb", 8, 4, 0.10),
+		synth("linux-scalability", "1lvl-nb", 8, 32, 0.50), // anti-scales
+		synth("linux-scalability", "1lvl-sl", 8, 4, 0.20),
+		synth("linux-scalability", "1lvl-sl", 8, 32, 0.05), // lock "scales"
+	}
+	results := EvaluateShape(f, cells)
+	failed := 0
+	for _, r := range results {
+		if !r.OK {
+			failed++
+		}
+	}
+	if failed != 3 {
+		t.Fatalf("%d claims failed on inverted data, want all 3", failed)
+	}
+}
+
+func TestClaimsThroughputDirection(t *testing.T) {
+	f := Figure{
+		ID:     10,
+		Metric: MetricKOps,
+		Sweeps: []Sweep{{
+			Workload:   "larson",
+			Allocators: []string{"4lvl-nb", "buddy-sl"},
+			Threads:    []int{4, 32},
+			Sizes:      []uint64{8},
+		}},
+	}
+	mk := func(allocator string, threads int, kops float64) Cell {
+		c := synth("larson", allocator, 8, threads, 1.0)
+		c.Ops = uint64(kops * 1e3) // 1-second window: ops = KOps*1e3
+		return c
+	}
+	cells := []Cell{
+		mk("4lvl-nb", 4, 2000), mk("4lvl-nb", 32, 20000), // rises
+		mk("buddy-sl", 4, 2000), mk("buddy-sl", 32, 2100), // flat
+	}
+	for _, r := range EvaluateShape(f, cells) {
+		if !r.OK {
+			t.Errorf("claim %q failed: %s", r.Claim, r.Detail)
+		}
+	}
+}
+
+func TestReportClaims(t *testing.T) {
+	var buf bytes.Buffer
+	failed := ReportClaims(&buf, []ClaimResult{
+		{Figure: 8, Panel: "p", Claim: "c1", OK: true, Detail: "d"},
+		{Figure: 8, Panel: "p", Claim: "c2", OK: false, Detail: "d"},
+	})
+	if failed != 1 {
+		t.Fatalf("failed = %d, want 1", failed)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[PASS]") || !strings.Contains(out, "[FAIL]") {
+		t.Fatalf("report missing statuses:\n%s", out)
+	}
+}

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/alloc"
+)
+
+// Figure describes one paper figure as a runnable experiment definition.
+type Figure struct {
+	ID       int
+	Title    string
+	Workload string // empty for the multi-workload Figure 12
+	Metric   Metric
+	Sweeps   []Sweep
+}
+
+// UserSpaceInstance is the instance geometry of Figures 8-11: the paper
+// configures "chunks of minimal size set to 8 bytes, and maximal size set
+// to 16KB"; the managed total is sized so the deepest tree stays resident
+// (64 MB keeps the 1lvl metadata at 64 MB of uint32 words).
+var UserSpaceInstance = alloc.Config{Total: 64 << 20, MinSize: 8, MaxSize: 16 << 10}
+
+// KernelStyleInstance is the Figure 12 geometry: page-grained minimum
+// (4 KB) with the kernel's MAX_ORDER=11 block cap (4 MB), serving the
+// 128 KB chunks the paper targets.
+var KernelStyleInstance = alloc.Config{Total: 256 << 20, MinSize: 4 << 10, MaxSize: 4 << 20}
+
+// PaperThreads is the thread grid of every figure.
+var PaperThreads = []int{4, 8, 16, 24, 32}
+
+// PaperSizes is the request-size grid of Figures 8-11.
+var PaperSizes = []uint64{8, 128, 1024}
+
+// Figures builds the five paper figures with the given thread grid and
+// scale (1.0 = the paper's operation volumes).
+func Figures(threads []int, scale float64, reps int, seed int64) []Figure {
+	if len(threads) == 0 {
+		threads = PaperThreads
+	}
+	user := func(wl string) []Sweep {
+		return []Sweep{{
+			Workload:   wl,
+			Allocators: AllocatorsUserSpace,
+			Threads:    threads,
+			Sizes:      PaperSizes,
+			Instance:   UserSpaceInstance,
+			Scale:      scale,
+			Reps:       reps,
+			Seed:       seed,
+		}}
+	}
+	var kernel []Sweep
+	for _, wl := range []string{"linux-scalability", "thread-test", "constant-occupancy"} {
+		kernel = append(kernel, Sweep{
+			Workload:   wl,
+			Allocators: AllocatorsKernelStyle,
+			Threads:    []int{threads[len(threads)-1]},
+			Sizes:      []uint64{128 << 10},
+			Instance:   KernelStyleInstance,
+			Scale:      scale,
+			Reps:       reps,
+			Seed:       seed,
+		})
+	}
+	return []Figure{
+		{ID: 8, Title: "Execution times - Linux Scalability benchmark", Workload: "linux-scalability", Metric: MetricSeconds, Sweeps: user("linux-scalability")},
+		{ID: 9, Title: "Execution times - Thread Test benchmark", Workload: "thread-test", Metric: MetricSeconds, Sweeps: user("thread-test")},
+		{ID: 10, Title: "Throughput - Larson benchmark", Workload: "larson", Metric: MetricKOps, Sweeps: user("larson")},
+		{ID: 11, Title: "Execution times - Constant Occupancy benchmark", Workload: "constant-occupancy", Metric: MetricSeconds, Sweeps: user("constant-occupancy")},
+		{ID: 12, Title: "Comparison with the Linux buddy system (128KB chunks)", Metric: MetricCycles, Sweeps: kernel},
+	}
+}
+
+// FigureByID returns the requested figure definition.
+func FigureByID(id int, threads []int, scale float64, reps int, seed int64) (Figure, error) {
+	for _, f := range Figures(threads, scale, reps, seed) {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("harness: no figure %d (valid: 8..12)", id)
+}
+
+// Run executes every sweep of the figure, renders its panels to out, and
+// returns all measured cells.
+func (f Figure) Run(out, progress io.Writer) ([]Cell, error) {
+	var all []Cell
+	fmt.Fprintf(out, "== Figure %d: %s ==\n\n", f.ID, f.Title)
+	for _, sw := range f.Sweeps {
+		cells, err := sw.Run(progress)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range sw.Sizes {
+			title := fmt.Sprintf("%s - Bytes=%d", sw.Workload, size)
+			Table(out, title, cells, size, sw.Allocators, f.Metric)
+			fmt.Fprintln(out)
+		}
+		all = append(all, cells...)
+	}
+	return all, nil
+}

@@ -1,0 +1,11 @@
+package linuxbuddy_test
+
+import (
+	"testing"
+
+	"repro/internal/alloctest"
+
+	_ "repro/internal/linuxbuddy" // register linux-buddy
+)
+
+func TestConformance(t *testing.T) { alloctest.Run(t, "linux-buddy") }

@@ -1,0 +1,150 @@
+package linuxbuddy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+)
+
+// checkFreeLists validates the free-list structure at a quiescent point:
+// every listed block head is marked free with the right order, links are
+// mutually consistent, blocks are order-aligned, and the sum of free and
+// live bytes equals the managed total.
+func checkFreeLists(t *testing.T, a *Allocator, liveBytes uint64) {
+	t.Helper()
+	freeBytes := uint64(0)
+	for order := 0; order <= a.maxOrder; order++ {
+		prev := nilPage
+		for head := a.freeHead[order]; head != nilPage; head = a.pages[head].next {
+			p := a.pages[head]
+			if !p.free {
+				t.Fatalf("order %d: listed page %d not marked free", order, head)
+			}
+			if int(p.order) != order {
+				t.Fatalf("order %d: listed page %d has order %d", order, head, p.order)
+			}
+			if p.prev != prev {
+				t.Fatalf("order %d: page %d prev link = %d, want %d", order, head, p.prev, prev)
+			}
+			if head%(1<<order) != 0 {
+				t.Fatalf("order %d: block head %d not order-aligned", order, head)
+			}
+			freeBytes += a.geo.MinSize << order
+			prev = head
+		}
+	}
+	if freeBytes+liveBytes != a.geo.Total {
+		t.Fatalf("free %d + live %d != total %d", freeBytes, liveBytes, a.geo.Total)
+	}
+}
+
+func TestFreeListInvariants(t *testing.T) {
+	a, err := New(alloc.Config{Total: 1 << 16, MinSize: 64, MaxSize: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFreeLists(t, a, 0)
+	rng := rand.New(rand.NewSource(17))
+	live := map[uint64]uint64{} // offset -> reserved bytes
+	liveBytes := uint64(0)
+	for step := 0; step < 20000; step++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			for off, sz := range live {
+				a.Free(off)
+				liveBytes -= sz
+				delete(live, off)
+				break
+			}
+		} else {
+			size := uint64(64) << rng.Intn(9)
+			if off, ok := a.Alloc(size); ok {
+				reserved := a.ChunkSize(off)
+				live[off] = reserved
+				liveBytes += reserved
+			}
+		}
+		if step%1000 == 0 {
+			checkFreeLists(t, a, liveBytes)
+		}
+	}
+	for off := range live {
+		a.Free(off)
+	}
+	checkFreeLists(t, a, 0)
+	// Full coalescing: the free lists must hold exactly the seeded
+	// max-order blocks again.
+	count := 0
+	for head := a.freeHead[a.maxOrder]; head != nilPage; head = a.pages[head].next {
+		count++
+	}
+	if want := int(a.geo.Leaves() >> a.maxOrder); count != want {
+		t.Fatalf("%d max-order blocks after drain, want %d", count, want)
+	}
+}
+
+func TestOrderForSize(t *testing.T) {
+	a, err := New(alloc.Config{Total: 1 << 16, MinSize: 4 << 10, MaxSize: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[uint64]int{
+		1:       0,
+		4 << 10: 0,
+		5 << 10: 1,
+		8 << 10: 1,
+		9 << 10: 2,
+	}
+	for size, want := range cases {
+		if got := a.orderForSize(size); got != want {
+			t.Errorf("orderForSize(%d) = %d, want %d", size, got, want)
+		}
+	}
+}
+
+func TestExpandReturnsTails(t *testing.T) {
+	a, err := New(alloc.Config{Total: 1 << 12, MinSize: 64, MaxSize: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single min-size allocation splits the whole region: orders 0..5
+	// must each hold exactly one free buddy afterwards.
+	off, ok := a.Alloc(64)
+	if !ok || off != 0 {
+		t.Fatalf("alloc = (%d,%v)", off, ok)
+	}
+	for order := 0; order < a.maxOrder; order++ {
+		n := 0
+		for head := a.freeHead[order]; head != nilPage; head = a.pages[head].next {
+			n++
+		}
+		if n != 1 {
+			t.Fatalf("order %d holds %d blocks after one split, want 1", order, n)
+		}
+	}
+	a.Free(off)
+}
+
+func TestMultipleSeededBlocks(t *testing.T) {
+	// MaxSize below Total: the region seeds as several MAX_ORDER blocks
+	// that never merge past the cap, exactly like the kernel.
+	a, err := New(alloc.Config{Total: 1 << 12, MinSize: 64, MaxSize: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []uint64
+	for i := 0; i < 4; i++ {
+		off, ok := a.Alloc(1 << 10)
+		if !ok {
+			t.Fatalf("max-order alloc %d failed", i)
+		}
+		offs = append(offs, off)
+	}
+	if _, ok := a.Alloc(64); ok {
+		t.Fatal("alloc succeeded beyond capacity")
+	}
+	for _, off := range offs {
+		a.Free(off)
+	}
+	checkFreeLists(t, a, 0)
+}

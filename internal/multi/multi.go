@@ -1,0 +1,141 @@
+// Package multi composes several single-instance back-end allocators into
+// one address space, the deployment mode the paper's related-work section
+// describes for large NUMA machines: the Linux kernel keeps one buddy
+// instance per NUMA node and routes requests by memory policy, falling
+// back to other nodes when the preferred one cannot serve.
+//
+// The wrapper is deliberately orthogonal to the allocator variant: it
+// takes any registered back-end (non-blocking or spin-locked), which is
+// exactly the paper's point — multi-instance data separation and
+// non-blocking single-instance management compose.
+package multi
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+	"repro/internal/geometry"
+)
+
+// Policy selects the preferred instance for a handle.
+type Policy int
+
+const (
+	// RoundRobin assigns handles to instances in creation order, the
+	// moral equivalent of spreading threads across NUMA nodes.
+	RoundRobin Policy = iota
+	// Fixed pins every handle to instance 0, reproducing the paper's
+	// Figure 12 setup where the memory policy binds all threads to one
+	// buddy instance ("instance 0") to measure same-instance contention.
+	Fixed
+)
+
+// Multi is a set of same-geometry back-end instances behind one offset
+// space: instance k serves global offsets [k*Total, (k+1)*Total).
+type Multi struct {
+	instances []alloc.Allocator
+	policy    Policy
+	span      uint64 // per-instance managed bytes
+	next      atomic.Uint64
+}
+
+// New builds count instances of the named back-end variant.
+func New(variant string, count int, cfg alloc.Config, policy Policy) (*Multi, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("multi: instance count %d must be positive", count)
+	}
+	m := &Multi{policy: policy, span: cfg.Total}
+	for i := 0; i < count; i++ {
+		a, err := alloc.Build(variant, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("multi: instance %d: %w", i, err)
+		}
+		m.instances = append(m.instances, a)
+	}
+	return m, nil
+}
+
+// Name implements alloc.Allocator.
+func (m *Multi) Name() string {
+	return fmt.Sprintf("multi[%dx %s]", len(m.instances), m.instances[0].Name())
+}
+
+// Geometry implements alloc.Allocator; it reports the per-instance
+// geometry (instances are identical).
+func (m *Multi) Geometry() geometry.Geometry { return m.instances[0].Geometry() }
+
+// Instances returns the number of composed back-ends.
+func (m *Multi) Instances() int { return len(m.instances) }
+
+// InstanceOf returns which instance serves a global offset.
+func (m *Multi) InstanceOf(offset uint64) int { return int(offset / m.span) }
+
+// Alloc implements alloc.Allocator through a transient handle.
+func (m *Multi) Alloc(size uint64) (uint64, bool) {
+	h := m.NewHandle()
+	return h.Alloc(size)
+}
+
+// Free implements alloc.Allocator.
+func (m *Multi) Free(offset uint64) {
+	k := m.InstanceOf(offset)
+	m.instances[k].Free(offset - uint64(k)*m.span)
+}
+
+// NewHandle implements alloc.Allocator: the handle carries the preferred
+// instance chosen by the policy plus per-instance sub-handles.
+func (m *Multi) NewHandle() alloc.Handle {
+	pref := 0
+	if m.policy == RoundRobin {
+		pref = int(m.next.Add(1)-1) % len(m.instances)
+	}
+	h := &Handle{m: m, pref: pref, subs: make([]alloc.Handle, len(m.instances))}
+	for i, inst := range m.instances {
+		h.subs[i] = inst.NewHandle()
+	}
+	return h
+}
+
+// Stats aggregates all instances.
+func (m *Multi) Stats() alloc.Stats {
+	var total alloc.Stats
+	for _, inst := range m.instances {
+		total.Add(inst.Stats())
+	}
+	return total
+}
+
+// Handle is the per-worker face of the composed allocator.
+type Handle struct {
+	m     *Multi
+	pref  int
+	subs  []alloc.Handle
+	stats alloc.Stats
+}
+
+// Alloc tries the preferred instance first and falls back to the others in
+// order, the kernel's zone-fallback discipline.
+func (h *Handle) Alloc(size uint64) (uint64, bool) {
+	n := len(h.subs)
+	for d := 0; d < n; d++ {
+		k := (h.pref + d) % n
+		if off, ok := h.subs[k].Alloc(size); ok {
+			h.stats.Allocs++
+			return uint64(k)*h.m.span + off, true
+		}
+	}
+	h.stats.AllocFails++
+	return 0, false
+}
+
+// Free routes the offset back to its owning instance.
+func (h *Handle) Free(offset uint64) {
+	k := h.m.InstanceOf(offset)
+	h.subs[k].Free(offset - uint64(k)*h.m.span)
+	h.stats.Frees++
+}
+
+// Stats returns this handle's routing counters (per-instance work is
+// accounted in the sub-handles and aggregated by Multi.Stats).
+func (h *Handle) Stats() *alloc.Stats { return &h.stats }

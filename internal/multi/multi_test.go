@@ -1,0 +1,155 @@
+package multi_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/multi"
+
+	_ "repro/internal/core"
+)
+
+var per = alloc.Config{Total: 1 << 16, MinSize: 64, MaxSize: 1 << 14}
+
+func TestRoutingAndGlobalOffsets(t *testing.T) {
+	m, err := multi.New("1lvl-nb", 4, per, multi.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Instances() != 4 {
+		t.Fatalf("Instances = %d", m.Instances())
+	}
+	// Round-robin handles prefer distinct instances; their first
+	// allocations land in distinct offset windows.
+	seen := map[int]bool{}
+	var offs []uint64
+	for i := 0; i < 4; i++ {
+		h := m.NewHandle()
+		off, ok := h.Alloc(64)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		seen[m.InstanceOf(off)] = true
+		offs = append(offs, off)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("4 round-robin handles hit %d distinct instances", len(seen))
+	}
+	for _, off := range offs {
+		m.Free(off)
+	}
+}
+
+func TestFixedPolicyPinsInstanceZero(t *testing.T) {
+	m, err := multi.New("1lvl-nb", 4, per, multi.Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		h := m.NewHandle()
+		off, ok := h.Alloc(64)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		if m.InstanceOf(off) != 0 {
+			t.Fatalf("fixed-policy handle landed on instance %d", m.InstanceOf(off))
+		}
+		h.Free(off)
+	}
+}
+
+func TestFallbackWhenPreferredFull(t *testing.T) {
+	m, err := multi.New("1lvl-nb", 2, per, multi.Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.NewHandle()
+	// Exhaust instance 0 (every handle prefers it under Fixed).
+	var offs []uint64
+	for {
+		off, ok := h.Alloc(1 << 14)
+		if !ok {
+			t.Fatal("alloc failed before both instances were full")
+		}
+		offs = append(offs, off)
+		if m.InstanceOf(off) == 1 {
+			break // fallback reached instance 1
+		}
+	}
+	if got := m.InstanceOf(offs[len(offs)-1]); got != 1 {
+		t.Fatalf("fallback allocation on instance %d", got)
+	}
+	for _, off := range offs {
+		m.Free(off)
+	}
+	// Exhaust everything: Alloc must eventually fail rather than spin.
+	offs = offs[:0]
+	for {
+		off, ok := h.Alloc(1 << 14)
+		if !ok {
+			break
+		}
+		offs = append(offs, off)
+	}
+	if len(offs) != 2*4 { // 2 instances x (64K/16K) chunks
+		t.Fatalf("filled %d max-size chunks, want 8", len(offs))
+	}
+	s := m.Stats()
+	_ = s
+	for _, off := range offs {
+		m.Free(off)
+	}
+}
+
+func TestConcurrentAcrossInstances(t *testing.T) {
+	m, err := multi.New("1lvl-nb", 4, per, multi.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := m.NewHandle()
+			var live []uint64
+			for i := 0; i < 5000; i++ {
+				if off, ok := h.Alloc(64 << (i % 3)); ok {
+					live = append(live, off)
+				}
+				if len(live) > 16 {
+					h.Free(live[0])
+					live = live[1:]
+				}
+			}
+			for _, off := range live {
+				h.Free(off)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Stats()
+	if s.Allocs != s.Frees {
+		t.Fatalf("leak across instances: %d allocs vs %d frees", s.Allocs, s.Frees)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := multi.New("1lvl-nb", 0, per, multi.RoundRobin); err == nil {
+		t.Error("zero instances accepted")
+	}
+	if _, err := multi.New("no-such", 2, per, multi.RoundRobin); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestName(t *testing.T) {
+	m, err := multi.New("1lvl-nb", 2, per, multi.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "multi[2x 1lvl-nb]" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}

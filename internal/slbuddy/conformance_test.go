@@ -1,0 +1,13 @@
+package slbuddy_test
+
+import (
+	"testing"
+
+	"repro/internal/alloctest"
+
+	_ "repro/internal/slbuddy" // register 1lvl-sl and 4lvl-sl
+)
+
+func TestConformance1Lvl(t *testing.T) { alloctest.Run(t, "1lvl-sl") }
+
+func TestConformance4Lvl(t *testing.T) { alloctest.Run(t, "4lvl-sl") }

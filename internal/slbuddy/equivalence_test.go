@@ -1,0 +1,96 @@
+package slbuddy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+)
+
+// TestLayoutEquivalence drives the identical operation sequence through
+// the flat (1lvl-sl) and bunch (4lvl-sl) layouts. Both run the same scan
+// and skip logic over the same logical tree, so every allocation must
+// return the same offset and every failure must agree — the bunch packing
+// is purely a storage transformation.
+func TestLayoutEquivalence(t *testing.T) {
+	cfg := alloc.Config{Total: 1 << 14, MinSize: 8, MaxSize: 1 << 12}
+	flat, err := New1Lvl(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := New4Lvl(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	var live []uint64
+	for step := 0; step < 30000; step++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			k := rng.Intn(len(live))
+			flat.Free(live[k])
+			packed.Free(live[k])
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		size := uint64(1) << (3 + rng.Intn(10))
+		fo, fok := flat.Alloc(size)
+		po, pok := packed.Alloc(size)
+		if fok != pok {
+			t.Fatalf("step %d: alloc(%d) flat ok=%v, packed ok=%v", step, size, fok, pok)
+		}
+		if !fok {
+			continue
+		}
+		if fo != po {
+			t.Fatalf("step %d: alloc(%d) flat=%d packed=%d", step, size, fo, po)
+		}
+		live = append(live, fo)
+	}
+	for _, off := range live {
+		flat.Free(off)
+		packed.Free(off)
+	}
+	// Both drained: the whole region must be allocatable on each.
+	if _, ok := flat.Alloc(1 << 12); !ok {
+		t.Fatal("flat layout lost capacity")
+	}
+	if _, ok := packed.Alloc(1 << 12); !ok {
+		t.Fatal("packed layout lost capacity")
+	}
+}
+
+// TestFlatTreeInvariants checks, after a random quiescent workload, that
+// the flat layout's interior marks are exactly the marks implied by the
+// live allocations — the locked variant must never need scrubbing.
+func TestFlatTreeInvariants(t *testing.T) {
+	cfg := alloc.Config{Total: 1 << 12, MinSize: 8, MaxSize: 1 << 12}
+	a, err := New1Lvl(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	live := map[uint64]bool{}
+	for step := 0; step < 20000; step++ {
+		if len(live) > 0 && rng.Intn(2) == 0 {
+			for off := range live {
+				a.Free(off)
+				delete(live, off)
+				break
+			}
+			continue
+		}
+		if off, ok := a.Alloc(uint64(1) << (3 + rng.Intn(8))); ok {
+			live[off] = true
+		}
+	}
+	for off := range live {
+		a.Free(off)
+	}
+	lay := a.lay.(*flatLayout)
+	for n, v := range lay.tree {
+		if n >= 1 && v != 0 {
+			t.Fatalf("node %d = %#x on a drained locked instance", n, v)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package spinlock
+
+import (
+	"sync"
+	"testing"
+)
+
+func kinds() []Kind { return []Kind{KindTAS, KindTTAS, KindTicket} }
+
+func TestMutualExclusion(t *testing.T) {
+	for _, kind := range kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			l := New(kind)
+			const workers, iters = 8, 5000
+			counter := 0
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						l.Lock()
+						counter++ // unsynchronized except by the lock
+						l.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != workers*iters {
+				t.Fatalf("counter = %d, want %d: lost updates under %s", counter, workers*iters, kind)
+			}
+		})
+	}
+}
+
+func TestUncontendedReacquire(t *testing.T) {
+	for _, kind := range kinds() {
+		l := New(kind)
+		for i := 0; i < 1000; i++ {
+			l.Lock()
+			l.Unlock()
+		}
+	}
+}
+
+func TestDefaultKind(t *testing.T) {
+	if _, ok := New("").(*TTAS); !ok {
+		t.Error("empty kind must default to TTAS")
+	}
+	if _, ok := New("bogus").(*TTAS); !ok {
+		t.Error("unknown kind must default to TTAS")
+	}
+	if _, ok := New(KindTAS).(*TAS); !ok {
+		t.Error("tas kind must build a TAS lock")
+	}
+	if _, ok := New(KindTicket).(*Ticket); !ok {
+		t.Error("ticket kind must build a Ticket lock")
+	}
+}
+
+func TestTicketFIFO(t *testing.T) {
+	// With the lock held, two queued acquirers must be served in ticket
+	// order. We serialize the queueing itself to make order deterministic.
+	l := new(Ticket)
+	l.Lock()
+	order := make(chan int, 2)
+	firstQueued := make(chan struct{})
+	go func() {
+		close(firstQueued)
+		l.Lock()
+		order <- 1
+		l.Unlock()
+	}()
+	<-firstQueued
+	// Give the first goroutine time to take its ticket before the second.
+	for l.next.Load() < 2 {
+	}
+	go func() {
+		l.Lock()
+		order <- 2
+		l.Unlock()
+	}()
+	for l.next.Load() < 3 {
+	}
+	l.Unlock()
+	if a, b := <-order, <-order; a != 1 || b != 2 {
+		t.Fatalf("service order = %d,%d, want 1,2", a, b)
+	}
+}

@@ -1,0 +1,44 @@
+package status
+
+// Bunch-word packing for the 4-level optimization (paper §III.D, Figure 7).
+// A bunch word is a uint64 holding the 5-bit status of the 8 bunch leaves
+// in its low 40 bits: leaf field j occupies bits [5j, 5j+5).
+
+// FieldBits is the width of one packed status field.
+const FieldBits = 5
+
+// Field extracts the 5-bit status of leaf field j from a bunch word.
+func Field(word uint64, j int) uint32 {
+	return uint32(word>>(FieldBits*j)) & Mask
+}
+
+// WithField returns word with leaf field j replaced by val.
+func WithField(word uint64, j int, val uint32) uint64 {
+	shift := FieldBits * j
+	return word&^(uint64(Mask)<<shift) | uint64(val&Mask)<<shift
+}
+
+// FieldMask returns the mask covering count consecutive fields starting at
+// field j.
+func FieldMask(j, count int) uint64 {
+	var m uint64
+	for k := 0; k < count; k++ {
+		m |= uint64(Mask) << (FieldBits * (j + k))
+	}
+	return m
+}
+
+// Fill returns count consecutive copies of val starting at field j.
+func Fill(j, count int, val uint32) uint64 {
+	var m uint64
+	for k := 0; k < count; k++ {
+		m |= uint64(val&Mask) << (FieldBits * (j + k))
+	}
+	return m
+}
+
+// AnyBusy reports whether any of the count fields starting at j has a Busy
+// bit set, i.e. whether the covered node is not free.
+func AnyBusy(word uint64, j, count int) bool {
+	return word&Fill(j, count, Busy) != 0
+}

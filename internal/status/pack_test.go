@@ -1,0 +1,87 @@
+package status
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldRoundtrip(t *testing.T) {
+	var w uint64
+	for j := 0; j < 8; j++ {
+		w = WithField(w, j, uint32(j)+1)
+	}
+	for j := 0; j < 8; j++ {
+		if got := Field(w, j); got != uint32(j)+1 {
+			t.Fatalf("Field(%d) = %#x, want %#x", j, got, j+1)
+		}
+	}
+	if w>>40 != 0 {
+		t.Fatalf("packing leaked above bit 40: %#x", w)
+	}
+}
+
+func TestFieldMaskAndFill(t *testing.T) {
+	if FieldMask(0, 8) != (1<<40)-1 {
+		t.Fatalf("FieldMask(0,8) = %#x", FieldMask(0, 8))
+	}
+	if Fill(2, 2, Busy) != uint64(Busy)<<10|uint64(Busy)<<15 {
+		t.Fatalf("Fill(2,2,Busy) = %#x", Fill(2, 2, Busy))
+	}
+}
+
+func TestAnyBusy(t *testing.T) {
+	w := WithField(0, 3, CoalLeft) // coalescing only: not busy
+	if AnyBusy(w, 0, 8) {
+		t.Error("coal-only field reported busy")
+	}
+	w = WithField(w, 5, Occ)
+	if !AnyBusy(w, 4, 4) {
+		t.Error("busy field in range not detected")
+	}
+	if AnyBusy(w, 0, 4) {
+		t.Error("busy field outside range detected")
+	}
+}
+
+// Property: WithField changes exactly the targeted field.
+func TestQuickWithFieldIsolation(t *testing.T) {
+	f := func(w uint64, j uint8, val uint32) bool {
+		w &= (1 << 40) - 1
+		jj := int(j % 8)
+		out := WithField(w, jj, val)
+		if Field(out, jj) != val&Mask {
+			return false
+		}
+		for k := 0; k < 8; k++ {
+			if k != jj && Field(out, k) != Field(w, k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AnyBusy(w, j, c) is exactly the OR of per-field busy tests.
+func TestQuickAnyBusyDefinition(t *testing.T) {
+	f := func(w uint64, j, c uint8) bool {
+		w &= (1 << 40) - 1
+		jj := int(j % 8)
+		cc := int(c%8) + 1
+		if jj+cc > 8 {
+			cc = 8 - jj
+		}
+		want := false
+		for k := jj; k < jj+cc; k++ {
+			if Field(w, k)&Busy != 0 {
+				want = true
+			}
+		}
+		return AnyBusy(w, jj, cc) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package trace records allocator operation streams and replays them
+// deterministically — the regression-debugging tool for an allocator whose
+// interesting bugs live in specific alloc/free interleavings. A recorded
+// trace captures per-worker operation sequences (offsets are recorded for
+// frees by referencing the allocation event that produced them, so a
+// replay on a different allocator or layout stays meaningful even when
+// placement differs).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/alloc"
+)
+
+// Op is one recorded operation.
+type Op struct {
+	// Worker identifies the recording handle.
+	Worker int32
+	// Size is the request size for allocations; 0 marks a free.
+	Size uint64
+	// Ref is, for frees, the index (within this worker's trace) of the
+	// allocation event whose chunk is released.
+	Ref int64
+	// OK records whether the original allocation succeeded.
+	OK bool
+}
+
+// Trace is a recorded operation stream.
+type Trace struct {
+	Ops []Op
+}
+
+// Recorder wraps an alloc.Handle, recording every operation.
+type Recorder struct {
+	inner  alloc.Handle
+	worker int32
+	trace  *Trace
+	// myEvents maps live offsets to the recording index of the allocation
+	// that produced them, so frees can reference allocations.
+	events map[uint64]int64
+}
+
+// NewRecorder wraps a handle; all Recorders appending to the same Trace
+// must do so from a single goroutine (record single-threaded schedules) or
+// the caller must provide external ordering.
+func NewRecorder(t *Trace, worker int32, inner alloc.Handle) *Recorder {
+	return &Recorder{inner: inner, worker: worker, trace: t, events: map[uint64]int64{}}
+}
+
+// Alloc records and forwards an allocation.
+func (r *Recorder) Alloc(size uint64) (uint64, bool) {
+	off, ok := r.inner.Alloc(size)
+	idx := int64(len(r.trace.Ops))
+	r.trace.Ops = append(r.trace.Ops, Op{Worker: r.worker, Size: size, Ref: -1, OK: ok})
+	if ok {
+		r.events[off] = idx
+	}
+	return off, ok
+}
+
+// Free records and forwards a release.
+func (r *Recorder) Free(offset uint64) {
+	ref, ok := r.events[offset]
+	if !ok {
+		panic(fmt.Sprintf("trace: Free(%#x) of an offset this recorder did not allocate", offset))
+	}
+	delete(r.events, offset)
+	r.inner.Free(offset)
+	r.trace.Ops = append(r.trace.Ops, Op{Worker: r.worker, Ref: ref})
+}
+
+// Stats forwards to the wrapped handle.
+func (r *Recorder) Stats() *alloc.Stats { return r.inner.Stats() }
+
+// Replay re-executes a trace against a fresh allocator, returning how many
+// allocations succeeded. Frees of allocations that failed on replay are
+// skipped. The trace is replayed in recorded order on a single goroutine,
+// which reproduces the logical schedule deterministically.
+func Replay(t *Trace, a alloc.Allocator) (succeeded int, err error) {
+	h := a.NewHandle()
+	offsets := make([]uint64, len(t.Ops))
+	oks := make([]bool, len(t.Ops))
+	for i, op := range t.Ops {
+		if op.Ref >= 0 { // free
+			if op.Ref >= int64(i) {
+				return succeeded, fmt.Errorf("trace: op %d frees future op %d", i, op.Ref)
+			}
+			if oks[op.Ref] {
+				h.Free(offsets[op.Ref])
+				oks[op.Ref] = false
+			}
+			continue
+		}
+		off, ok := h.Alloc(op.Size)
+		offsets[i], oks[i] = off, ok
+		if ok {
+			succeeded++
+		}
+	}
+	return succeeded, nil
+}
+
+// traceMagic guards the serialized format.
+const traceMagic = uint32(0x4e424253) // "NBBS"
+
+// Write serializes the trace in a compact binary format.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, traceMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Ops))); err != nil {
+		return err
+	}
+	for _, op := range t.Ops {
+		okByte := uint8(0)
+		if op.OK {
+			okByte = 1
+		}
+		if err := binary.Write(bw, binary.LittleEndian, op.Worker); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, op.Size); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, op.Ref); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, okByte); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, err
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", magic)
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	const maxOps = 1 << 30
+	if n > maxOps {
+		return nil, fmt.Errorf("trace: unreasonable op count %d", n)
+	}
+	t := &Trace{Ops: make([]Op, n)}
+	for i := range t.Ops {
+		var okByte uint8
+		if err := binary.Read(br, binary.LittleEndian, &t.Ops[i].Worker); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &t.Ops[i].Size); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &t.Ops[i].Ref); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &okByte); err != nil {
+			return nil, err
+		}
+		t.Ops[i].OK = okByte != 0
+	}
+	return t, nil
+}

@@ -1,0 +1,142 @@
+package verify
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/alloc"
+)
+
+// StressConfig parameterizes a deterministic concurrent stress run.
+type StressConfig struct {
+	// Workers is the number of concurrent goroutines.
+	Workers int
+	// Ops is the number of operations each worker attempts.
+	Ops int
+	// Sizes is the request-size mix workers draw from uniformly.
+	Sizes []uint64
+	// FreeBias in [0,100] is the percentage of steps that free a live
+	// chunk (when one exists); the rest allocate. Higher bias keeps
+	// occupancy lower.
+	FreeBias int
+	// MaxLive caps each worker's live set; beyond it the worker frees
+	// regardless of bias (bounds occupancy deterministically).
+	MaxLive int
+	// Seed makes the whole run reproducible: worker k derives its private
+	// stream from Seed and k only.
+	Seed uint64
+}
+
+// Report is the outcome of a stress run.
+type Report struct {
+	Allocs     uint64
+	Frees      uint64
+	AllocFails uint64
+	Overlaps   uint64 // S1 violations (must be 0)
+	Unbacked   uint64 // S2 violations (must be 0)
+	PeakBytes  int64  // maximum concurrently live bytes
+	DrainErr   error  // non-nil when the checker did not quiesce
+}
+
+// Failed reports whether the run observed any correctness violation.
+func (r Report) Failed() bool {
+	return r.Overlaps != 0 || r.Unbacked != 0 || r.DrainErr != nil
+}
+
+// String renders the report for CLI use.
+func (r Report) String() string {
+	status := "OK"
+	if r.Failed() {
+		status = "FAILED"
+	}
+	s := fmt.Sprintf("%s: %d allocs, %d frees, %d alloc-fails, peak %d bytes live",
+		status, r.Allocs, r.Frees, r.AllocFails, r.PeakBytes)
+	if r.Overlaps != 0 {
+		s += fmt.Sprintf(", %d S1 overlaps", r.Overlaps)
+	}
+	if r.Unbacked != 0 {
+		s += fmt.Sprintf(", %d S2 unbacked frees", r.Unbacked)
+	}
+	if r.DrainErr != nil {
+		s += ", drain: " + r.DrainErr.Error()
+	}
+	return s
+}
+
+// xorshift is the workers' private PRNG: no allocation, no locking, and
+// identical across runs with the same seed.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// Stress drives a verified wrapper of the allocator with Workers
+// concurrent schedules and returns the aggregated report. The allocator
+// is drained afterwards and the checker's quiescence is part of the
+// verdict.
+func Stress(a alloc.Allocator, cfg StressConfig) (Report, error) {
+	if cfg.Workers <= 0 || cfg.Ops <= 0 || len(cfg.Sizes) == 0 {
+		return Report{}, fmt.Errorf("verify: stress config needs workers, ops and sizes")
+	}
+	if cfg.MaxLive <= 0 {
+		cfg.MaxLive = 64
+	}
+	v, err := Wrap(a)
+	if err != nil {
+		return Report{}, err
+	}
+	var wg sync.WaitGroup
+	handles := make([]*Handle, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		handles[w] = v.NewHandle()
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := handles[w]
+			rng := xorshift(cfg.Seed*2654435761 + uint64(w)*40503 + 1)
+			var live []uint64
+			for i := 0; i < cfg.Ops; i++ {
+				doFree := len(live) >= cfg.MaxLive ||
+					(len(live) > 0 && int(rng.next()%100) < cfg.FreeBias)
+				if doFree {
+					k := int(rng.next() % uint64(len(live)))
+					h.Free(live[k])
+					live[k] = live[len(live)-1]
+					live = live[:len(live)-1]
+					continue
+				}
+				size := cfg.Sizes[rng.next()%uint64(len(cfg.Sizes))]
+				if off, ok := h.Alloc(size); ok {
+					live = append(live, off)
+				}
+			}
+			for _, off := range live {
+				h.Free(off)
+			}
+		}()
+	}
+	wg.Wait()
+	var stats alloc.Stats
+	for _, h := range handles {
+		stats.Add(*h.Stats())
+	}
+	rep := Report{
+		Allocs:     stats.Allocs,
+		Frees:      stats.Frees,
+		AllocFails: stats.AllocFails,
+		Overlaps:   v.Checker().Overlaps(),
+		Unbacked:   v.Checker().Unbacked(),
+		PeakBytes:  v.Checker().PeakBytes(),
+		DrainErr:   v.Checker().Quiesced(),
+	}
+	return rep, nil
+}

@@ -1,0 +1,275 @@
+// Package nbbs is a non-blocking buddy system for scalable memory
+// management on multi-core machines, a Go implementation of Marotta,
+// Ianni, Scarselli, Pellegrini and Quaglia, "A Non-blocking Buddy System
+// for Scalable Memory Allocation on Multi-core Machines" (IEEE CLUSTER
+// 2018).
+//
+// A Buddy manages a contiguous region of Total bytes, splitting it
+// recursively into power-of-two chunks between MinSize and MaxSize, and
+// serves concurrent Alloc/Free requests without any lock: coordination
+// happens through single-word compare-and-swap on the allocator metadata,
+// so threads proceed in parallel and only retry when they genuinely
+// conflicted on the same chunk.
+//
+// Two non-blocking layouts are provided — Variant1Lvl with one status word
+// per tree node, and Variant4Lvl (the default) packing four tree levels
+// into each 64-bit word to quarter the atomic instructions per operation —
+// along with the spin-lock baselines used by the paper's evaluation
+// (Variant1LvlLocked, Variant4LvlLocked, VariantCloudwu,
+// VariantLinuxStyle), which are handy as drop-in comparison points.
+//
+// The allocator trades in offsets relative to the managed region, which
+// makes it a back-end in the paper's terminology: it can manage memory it
+// does not own (a file, a shared segment, device memory). Pass
+// WithMaterializedRegion to also reserve real bytes and use AllocBytes to
+// receive the offset's window as a slice.
+//
+//	b, err := nbbs.New(nbbs.Config{Total: 1 << 26, MinSize: 64, MaxSize: 1 << 20},
+//	    nbbs.WithMaterializedRegion())
+//	...
+//	h := b.NewHandle() // one per worker goroutine
+//	off, ok := h.Alloc(4096)
+//	...
+//	h.Free(off)
+//
+// Handles are the intended hot-path interface: they carry the per-worker
+// scan scatter state and private statistics. The Buddy's own Alloc/Free
+// are convenience wrappers safe for occasional use from any goroutine.
+package nbbs
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/arena"
+	"repro/internal/frontend"
+	"repro/internal/geometry"
+	"repro/internal/multi"
+
+	// Register all allocator variants.
+	_ "repro/internal/bunch"
+	_ "repro/internal/cloudwu"
+	_ "repro/internal/core"
+	_ "repro/internal/linuxbuddy"
+	_ "repro/internal/slbuddy"
+)
+
+// Variant names an allocator implementation.
+type Variant = string
+
+// The available variants, by evaluation label.
+const (
+	// Variant4Lvl is the non-blocking buddy system with the 4-levels
+	// optimization (paper §III.D) — the default and fastest variant.
+	Variant4Lvl Variant = "4lvl-nb"
+	// Variant1Lvl is the non-blocking buddy system with one status word
+	// per node (paper §III.A-C).
+	Variant1Lvl Variant = "1lvl-nb"
+	// Variant4LvlLocked and Variant1LvlLocked are the same layouts
+	// serialized by a global spin-lock (evaluation baselines).
+	Variant4LvlLocked Variant = "4lvl-sl"
+	Variant1LvlLocked Variant = "1lvl-sl"
+	// VariantCloudwu is the cloudwu/buddy tree allocator under a spin-lock.
+	VariantCloudwu Variant = "buddy-sl"
+	// VariantLinuxStyle is a Linux-kernel-shaped free-list buddy under a
+	// spin-lock.
+	VariantLinuxStyle Variant = "linux-buddy"
+)
+
+// Variants lists every registered allocator label.
+func Variants() []string { return alloc.Names() }
+
+// Config sizes a buddy instance. All three values must be powers of two,
+// with MinSize <= MaxSize <= Total.
+type Config struct {
+	// Total is the managed region size in bytes.
+	Total uint64
+	// MinSize is the allocation unit; requests round up to it.
+	MinSize uint64
+	// MaxSize caps a single allocation.
+	MaxSize uint64
+}
+
+// Stats are the operation counters aggregated across an instance's
+// handles; see the field docs in the paper-reproduction harness for how
+// RMW/CASFail/Retries relate to the algorithm.
+type Stats = alloc.Stats
+
+// Handle is a per-worker allocation interface; obtain one per goroutine
+// from Buddy.NewHandle. It is not safe for concurrent use.
+type Handle = alloc.Handle
+
+// Buddy is a buddy-system instance of some variant, optionally backed by
+// a real memory region.
+type Buddy struct {
+	impl    alloc.Allocator
+	region  *arena.Arena
+	variant Variant
+}
+
+// Option configures New.
+type Option func(*options)
+
+type options struct {
+	variant     Variant
+	materialize bool
+}
+
+// WithVariant selects the allocator implementation (default Variant4Lvl).
+func WithVariant(v Variant) Option { return func(o *options) { o.variant = v } }
+
+// WithMaterializedRegion backs the managed region with real memory so
+// AllocBytes/Bytes can hand out slices.
+func WithMaterializedRegion() Option { return func(o *options) { o.materialize = true } }
+
+// New builds a buddy instance.
+func New(cfg Config, opts ...Option) (*Buddy, error) {
+	o := options{variant: Variant4Lvl}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	impl, err := alloc.Build(o.variant, alloc.Config{Total: cfg.Total, MinSize: cfg.MinSize, MaxSize: cfg.MaxSize})
+	if err != nil {
+		return nil, err
+	}
+	return &Buddy{
+		impl:    impl,
+		region:  arena.New(cfg.Total, o.materialize),
+		variant: o.variant,
+	}, nil
+}
+
+// Variant returns the implementation label of this instance.
+func (b *Buddy) Variant() Variant { return b.variant }
+
+// Total returns the managed region size in bytes.
+func (b *Buddy) Total() uint64 { return b.impl.Geometry().Total }
+
+// MinSize returns the allocation unit.
+func (b *Buddy) MinSize() uint64 { return b.impl.Geometry().MinSize }
+
+// MaxSize returns the largest single allocation.
+func (b *Buddy) MaxSize() uint64 { return b.impl.Geometry().MaxSize }
+
+// Alloc reserves a chunk of at least size bytes and returns its offset
+// within the managed region; ok is false when the instance cannot serve
+// the request. Offset 0 is a valid allocation.
+func (b *Buddy) Alloc(size uint64) (offset uint64, ok bool) { return b.impl.Alloc(size) }
+
+// Free releases a previously allocated chunk by its offset. Freeing an
+// offset that is not currently allocated panics.
+func (b *Buddy) Free(offset uint64) { b.impl.Free(offset) }
+
+// NewHandle returns a per-worker handle; use one handle per goroutine on
+// hot paths.
+func (b *Buddy) NewHandle() Handle { return b.impl.NewHandle() }
+
+// Stats aggregates operation counters across all handles; call it at
+// quiescent points (not concurrently with operations).
+func (b *Buddy) Stats() Stats { return b.impl.Stats() }
+
+// ChunkSize reports the reserved (rounded-up) size of a live allocation.
+func (b *Buddy) ChunkSize(offset uint64) uint64 {
+	return b.impl.(alloc.ChunkSizer).ChunkSize(offset)
+}
+
+// Materialized reports whether the region is backed by real memory.
+func (b *Buddy) Materialized() bool { return b.region.Materialized() }
+
+// Bytes returns the memory window of a live allocation as a slice; the
+// instance must have been built WithMaterializedRegion. The slice is valid
+// until the chunk is freed.
+func (b *Buddy) Bytes(offset uint64) []byte {
+	return b.region.Bytes(offset, b.ChunkSize(offset))
+}
+
+// AllocBytes combines Alloc and Bytes: it reserves at least size bytes and
+// returns the chunk's window. The returned offset is the Free token.
+func (b *Buddy) AllocBytes(size uint64) (buf []byte, offset uint64, ok bool) {
+	off, ok := b.Alloc(size)
+	if !ok {
+		return nil, 0, false
+	}
+	return b.region.Bytes(off, b.ChunkSize(off)), off, true
+}
+
+// Scrubber is implemented by the non-blocking variants: Scrub rebuilds the
+// metadata from the live-allocation index at a quiescent point, shedding
+// the conservative residue racing releases may strand (see DESIGN.md).
+type Scrubber interface{ Scrub() }
+
+// Scrub sheds conservative metadata residue on a quiescent instance; it
+// reports whether the variant supports scrubbing.
+func (b *Buddy) Scrub() bool {
+	if s, ok := b.impl.(Scrubber); ok {
+		s.Scrub()
+		return true
+	}
+	return false
+}
+
+// Backend exposes the underlying allocator for composition with the
+// advanced wrappers below.
+func (b *Buddy) Backend() interface {
+	Name() string
+	Alloc(uint64) (uint64, bool)
+	Free(uint64)
+} {
+	return b.impl
+}
+
+// CachedHandle is a per-worker handle with magazine caching in front of
+// the instance (the paper's front-end/back-end composition). Frees park
+// chunks in per-size-class magazines served back to later allocations;
+// Flush returns everything to the back-end.
+type CachedHandle struct {
+	*frontend.Handle
+}
+
+// NewCachedHandle layers a caching front-end handle over the instance.
+// magazine is the per-size-class capacity (0 = default).
+func (b *Buddy) NewCachedHandle(magazine int) (*CachedHandle, error) {
+	fe, err := frontend.New(b.impl, magazine)
+	if err != nil {
+		return nil, err
+	}
+	return &CachedHandle{fe.NewHandle().(*frontend.Handle)}, nil
+}
+
+// MultiConfig sizes a multi-instance (NUMA-style) allocator: Instances
+// independent back-ends of Per geometry behind one offset space.
+type MultiConfig struct {
+	Instances int
+	Per       Config
+}
+
+// Multi is a set of same-geometry instances behind one offset space, with
+// per-handle preferred-instance routing and fallback — the multi-instance
+// deployment the paper describes for NUMA machines.
+type Multi = multi.Multi
+
+// NewMulti builds a multi-instance allocator of the given variant.
+func NewMulti(cfg MultiConfig, opts ...Option) (*Multi, error) {
+	o := options{variant: Variant4Lvl}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.materialize {
+		return nil, fmt.Errorf("nbbs: materialized regions are not supported on multi-instance allocators")
+	}
+	return multi.New(o.variant, cfg.Instances, alloc.Config{
+		Total:   cfg.Per.Total,
+		MinSize: cfg.Per.MinSize,
+		MaxSize: cfg.Per.MaxSize,
+	}, multi.RoundRobin)
+}
+
+// Geometry describes the derived tree shape of a configuration without
+// building an instance (useful for capacity planning).
+func (c Config) Geometry() (depth, maxLevel int, err error) {
+	g, err := geometry.New(c.Total, c.MinSize, c.MaxSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	return g.Depth, g.MaxLevel, nil
+}

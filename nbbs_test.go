@@ -1,0 +1,210 @@
+package nbbs_test
+
+import (
+	"sync"
+	"testing"
+
+	nbbs "repro"
+)
+
+var cfg = nbbs.Config{Total: 1 << 20, MinSize: 64, MaxSize: 1 << 16}
+
+func TestVariantsAvailable(t *testing.T) {
+	want := []string{
+		nbbs.Variant1Lvl, nbbs.Variant4Lvl,
+		nbbs.Variant1LvlLocked, nbbs.Variant4LvlLocked,
+		nbbs.VariantCloudwu, nbbs.VariantLinuxStyle,
+	}
+	have := map[string]bool{}
+	for _, v := range nbbs.Variants() {
+		have[v] = true
+	}
+	for _, v := range want {
+		if !have[v] {
+			t.Errorf("variant %q not registered", v)
+		}
+	}
+}
+
+func TestDefaultVariant(t *testing.T) {
+	b, err := nbbs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Variant() != nbbs.Variant4Lvl {
+		t.Fatalf("default variant = %q", b.Variant())
+	}
+	if b.Total() != cfg.Total || b.MinSize() != cfg.MinSize || b.MaxSize() != cfg.MaxSize {
+		t.Fatal("geometry accessors diverge from config")
+	}
+}
+
+func TestEveryVariantAllocates(t *testing.T) {
+	for _, v := range nbbs.Variants() {
+		v := v
+		t.Run(v, func(t *testing.T) {
+			b, err := nbbs.New(cfg, nbbs.WithVariant(v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			off, ok := b.Alloc(100)
+			if !ok {
+				t.Fatal("alloc failed")
+			}
+			if got := b.ChunkSize(off); got != 128 {
+				t.Fatalf("ChunkSize = %d, want 128 (100 rounded up)", got)
+			}
+			b.Free(off)
+		})
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	if _, err := nbbs.New(nbbs.Config{Total: 1000, MinSize: 8, MaxSize: 64}); err == nil {
+		t.Error("non-power-of-two total accepted")
+	}
+	if _, err := nbbs.New(cfg, nbbs.WithVariant("no-such")); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestMaterializedBytes(t *testing.T) {
+	b, err := nbbs.New(cfg, nbbs.WithMaterializedRegion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Materialized() {
+		t.Fatal("region not materialized")
+	}
+	buf, off, ok := b.AllocBytes(100)
+	if !ok {
+		t.Fatal("AllocBytes failed")
+	}
+	if len(buf) != 128 {
+		t.Fatalf("AllocBytes window = %d bytes, want the 128-byte chunk", len(buf))
+	}
+	buf[0], buf[127] = 0xAB, 0xCD
+	again := b.Bytes(off)
+	if again[0] != 0xAB || again[127] != 0xCD {
+		t.Fatal("Bytes window does not alias the allocation")
+	}
+	b.Free(off)
+}
+
+func TestBytesWithoutMaterialization(t *testing.T) {
+	b, err := nbbs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, ok := b.Alloc(64)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	defer b.Free(off)
+	defer func() {
+		if recover() == nil {
+			t.Error("Bytes on an offset-only instance did not panic")
+		}
+	}()
+	b.Bytes(off)
+}
+
+func TestHandlesConcurrent(t *testing.T) {
+	b, err := nbbs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := b.NewHandle()
+			for i := 0; i < 10000; i++ {
+				if off, ok := h.Alloc(256); ok {
+					h.Free(off)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := b.Stats()
+	if s.Allocs != s.Frees || s.Allocs == 0 {
+		t.Fatalf("stats = %d allocs / %d frees", s.Allocs, s.Frees)
+	}
+}
+
+func TestScrubSupport(t *testing.T) {
+	for v, want := range map[nbbs.Variant]bool{
+		nbbs.Variant1Lvl:       true,
+		nbbs.Variant4Lvl:       true,
+		nbbs.Variant1LvlLocked: false,
+		nbbs.VariantCloudwu:    false,
+	} {
+		b, err := nbbs.New(cfg, nbbs.WithVariant(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Scrub(); got != want {
+			t.Errorf("Scrub() on %s = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestCachedHandle(t *testing.T) {
+	b, err := nbbs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := b.NewCachedHandle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, ok := h.Alloc(512)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	h.Free(off)
+	off2, ok := h.Alloc(512)
+	if !ok || off2 != off {
+		t.Fatalf("magazine miss: got %d, want parked %d", off2, off)
+	}
+	h.Free(off2)
+	h.Flush()
+	s := b.Stats()
+	if s.Allocs != s.Frees {
+		t.Fatalf("back-end leaked: %d/%d", s.Allocs, s.Frees)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	m, err := nbbs.NewMulti(nbbs.MultiConfig{Instances: 3, Per: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.NewHandle()
+	off, ok := h.Alloc(4096)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if inst := m.InstanceOf(off); inst < 0 || inst > 2 {
+		t.Fatalf("InstanceOf = %d", inst)
+	}
+	h.Free(off)
+	if _, err := nbbs.NewMulti(nbbs.MultiConfig{Instances: 2, Per: cfg}, nbbs.WithMaterializedRegion()); err == nil {
+		t.Error("materialized multi accepted")
+	}
+}
+
+func TestConfigGeometry(t *testing.T) {
+	depth, maxLevel, err := cfg.Geometry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != 14 || maxLevel != 4 {
+		t.Fatalf("Geometry = depth %d maxLevel %d, want 14/4", depth, maxLevel)
+	}
+	if _, _, err := (nbbs.Config{Total: 3}).Geometry(); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}
