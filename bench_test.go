@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	_ "repro/internal/linuxbuddy"
 	_ "repro/internal/slbuddy"
+	_ "repro/internal/stack"
 )
 
 // benchInstance mirrors the paper's user-space configuration: 8-byte
@@ -431,6 +432,47 @@ func BenchmarkAblationFrontend(b *testing.B) {
 		}
 		run(b, fe.NewHandle, a)
 	})
+}
+
+// BenchmarkStackCachedMulti measures the composed layer stacks on the
+// Larson pattern (cross-worker frees, the workload that exercises both
+// the magazines and the router): the bare back-end against the
+// multi-instance router, the caching front-end, and the full
+// cached+multi production composition the paper's conclusions call for.
+func BenchmarkStackCachedMulti(b *testing.B) {
+	const slots = 2048
+	stacks := []string{"4lvl-nb", "multi4+4lvl-nb", "cached+4lvl-nb", "cached+multi4+4lvl-nb"}
+	for _, variant := range stacks {
+		for _, threads := range benchThreads() {
+			b.Run(fmt.Sprintf("%s/threads=%d", variant, threads), func(b *testing.B) {
+				a := build(b, variant, benchInstance)
+				table := make([]atomic.Uint64, slots)
+				runWorkers(b, a, threads, func(h alloc.Handle, iters, id int) {
+					rng := rand.New(rand.NewSource(int64(id) + 1))
+					for i := 0; i < iters; i++ {
+						var repl uint64
+						if off, ok := h.Alloc(128); ok {
+							repl = off + 1
+						}
+						if old := table[rng.Intn(slots)].Swap(repl); old != 0 {
+							h.Free(old - 1)
+						}
+					}
+				})
+				for i := range table {
+					if v := table[i].Swap(0); v != 0 {
+						a.Free(v - 1)
+					}
+				}
+				if fe, ok := a.(*frontend.Allocator); ok {
+					cache := fe.CacheTotals()
+					if ops := cache.Hits + cache.Misses; ops > 0 {
+						b.ReportMetric(float64(cache.Hits)/float64(ops)*100, "maghit%")
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkAblationFragmentation tests the paper's resilience claim (§I):

@@ -1,11 +1,15 @@
 // Command nbbsbench runs one benchmark sweep: a workload over a grid of
 // allocator variants, thread counts and request sizes, on freshly built
-// single-instance allocators.
+// allocators. Composed layer stacks are registered variants too, so the
+// paper's future-work compositions sweep like any leaf allocator:
+// "cached+4lvl-nb" (front-end magazines), "multi4+4lvl-nb" (4-instance
+// NUMA-style router splitting -total), and "cached+multi4+4lvl-nb".
 //
 // Examples:
 //
 //	nbbsbench -workload linux-scalability -threads 4,8,16 -sizes 8,128 -scale 0.01
 //	nbbsbench -workload larson -alloc 4lvl-nb,buddy-sl -csv
+//	nbbsbench -workload larson -alloc 4lvl-nb,cached+multi4+4lvl-nb -threads 8
 //	nbbsbench -workload constant-occupancy -scale 1 -reps 3   # paper volume
 package main
 
@@ -24,6 +28,7 @@ import (
 	_ "repro/internal/core"
 	_ "repro/internal/linuxbuddy"
 	_ "repro/internal/slbuddy"
+	_ "repro/internal/stack"
 )
 
 func main() {

@@ -3,24 +3,43 @@
 // the bytes of metadata each layout (1-level words vs 4-level bunches)
 // needs — a capacity-planning and teaching aid.
 //
-// Example:
+// With -demo-ops it additionally builds a composed allocator stack
+// (variant, optional multi-instance router, optional caching front-end,
+// optional materialized region), drives a short concurrent workload, and
+// reports each layer's counters separately: front-end magazine hits and
+// spills, routing fallbacks, back-end RMW/CAS traffic.
+//
+// Examples:
 //
 //	nbbsinfo -total 67108864 -min 8 -max 16384
+//	nbbsinfo -total 16777216 -min 64 -max 65536 \
+//	    -instances 4 -cached -materialize -demo-ops 200000
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"sort"
+	"sync"
 
+	nbbs "repro"
 	"repro/internal/geometry"
 )
 
 func main() {
 	var (
-		total   = flag.Uint64("total", 64<<20, "managed bytes (power of two)")
-		minSize = flag.Uint64("min", 8, "allocation unit in bytes (power of two)")
-		maxSize = flag.Uint64("max", 16<<10, "maximum request size in bytes (power of two)")
+		total       = flag.Uint64("total", 64<<20, "managed bytes (power of two; per instance with -instances)")
+		minSize     = flag.Uint64("min", 8, "allocation unit in bytes (power of two)")
+		maxSize     = flag.Uint64("max", 16<<10, "maximum request size in bytes (power of two)")
+		variant     = flag.String("variant", nbbs.Variant4Lvl, "allocator variant for -demo-ops")
+		instances   = flag.Int("instances", 1, "back-end instances (multi-instance router layer)")
+		cached      = flag.Bool("cached", false, "layer the caching front-end over the back-end")
+		magazine    = flag.Int("magazine", 0, "front-end per-class magazine capacity (0 = default)")
+		materialize = flag.Bool("materialize", false, "back the offset space with real memory")
+		demoOps     = flag.Int("demo-ops", 0, "drive this many ops through the stack and report per-layer stats")
+		workers     = flag.Int("workers", 8, "worker goroutines for -demo-ops")
 	)
 	flag.Parse()
 
@@ -69,6 +88,99 @@ func main() {
 	fmt.Printf("\nworst-case RMW per allocation (min-size chunk):\n")
 	fmt.Printf("  1lvl: %d (reserve + %d climb steps)\n", climb1+1, climb1)
 	fmt.Printf("  4lvl: %d (reserve + %d climb steps)\n", climb4+1, climb4)
+
+	if *demoOps > 0 {
+		demo(stackConfig{
+			cfg:         nbbs.Config{Total: *total, MinSize: *minSize, MaxSize: *maxSize},
+			variant:     *variant,
+			instances:   *instances,
+			cached:      *cached,
+			magazine:    *magazine,
+			materialize: *materialize,
+			ops:         *demoOps,
+			workers:     *workers,
+		})
+	}
+}
+
+type stackConfig struct {
+	cfg         nbbs.Config
+	variant     string
+	instances   int
+	cached      bool
+	magazine    int
+	materialize bool
+	ops         int
+	workers     int
+}
+
+// demo builds the requested layer stack, drives a short mixed-size
+// workload through per-worker handles, and prints each layer's counters.
+func demo(sc stackConfig) {
+	opts := []nbbs.Option{nbbs.WithVariant(sc.variant)}
+	if sc.instances > 1 {
+		opts = append(opts, nbbs.WithInstances(sc.instances))
+	}
+	if sc.cached {
+		opts = append(opts, nbbs.WithFrontend(sc.magazine))
+	}
+	if sc.materialize {
+		opts = append(opts, nbbs.WithMaterializedRegion())
+	}
+	b, err := nbbs.New(sc.cfg, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nbbsinfo:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nstack demo: %s, %d ops over %d workers\n", b.Name(), sc.ops, sc.workers)
+	sizes := []uint64{sc.cfg.MinSize, sc.cfg.MinSize * 4, sc.cfg.MinSize * 16, sc.cfg.MaxSize / 2}
+	var wg sync.WaitGroup
+	for w := 0; w < sc.workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := b.NewHandle()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			var live []uint64
+			for i := 0; i < sc.ops/sc.workers; i++ {
+				if off, ok := h.Alloc(sizes[rng.Intn(len(sizes))]); ok {
+					if sc.materialize {
+						b.Bytes(off)[0] = byte(w) // touch the real memory
+					}
+					live = append(live, off)
+				}
+				if len(live) > 16 {
+					h.Free(live[0])
+					live = live[1:]
+				}
+			}
+			for _, off := range live {
+				h.Free(off)
+			}
+		}()
+	}
+	wg.Wait()
+	b.Scrub()
+
+	fmt.Printf("\nper-layer stats (top-down):\n")
+	fmt.Printf("  %-24s %10s %10s %8s %10s %10s  %s\n",
+		"layer", "allocs", "frees", "fails", "RMW", "CASfail", "extras")
+	for _, layer := range b.LayerStats() {
+		keys := make([]string, 0, len(layer.Extra))
+		for k := range layer.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		extras := ""
+		for _, k := range keys {
+			extras += fmt.Sprintf("%s=%d ", k, layer.Extra[k])
+		}
+		fmt.Printf("  %-24s %10d %10d %8d %10d %10d  %s\n",
+			layer.Layer, layer.Stats.Allocs, layer.Stats.Frees, layer.Stats.AllocFails,
+			layer.Stats.RMW, layer.Stats.CASFail, extras)
+	}
 }
 
 func pct(part, whole uint64) float64 { return float64(part) / float64(whole) * 100 }

@@ -29,6 +29,7 @@ import (
 	_ "repro/internal/core"
 	_ "repro/internal/linuxbuddy"
 	_ "repro/internal/slbuddy"
+	_ "repro/internal/stack"
 )
 
 func main() {

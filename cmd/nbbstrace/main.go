@@ -25,6 +25,7 @@ import (
 	_ "repro/internal/core"
 	_ "repro/internal/linuxbuddy"
 	_ "repro/internal/slbuddy"
+	_ "repro/internal/stack"
 )
 
 func main() {

@@ -55,12 +55,10 @@ func main() {
 			defer wg.Done()
 			var h nbbs.Handle
 			if w < hotWorkers {
-				// All hot workers want the same node: take handles until
-				// one prefers instance 0... instead, emulate by always
-				// freeing and allocating through a fresh offset region:
-				// round-robin assignment makes handle w prefer w%nodes,
-				// so hot workers explicitly use a node-0 handle.
-				h = hotHandle(m, *nodes)
+				// All hot workers bind to the same node, like a skewed
+				// memory policy: NewHandleOn pins the handle's preferred
+				// instance explicitly (fallback still applies).
+				h = m.Multi().NewHandleOn(0)
 			} else {
 				h = m.NewHandle()
 			}
@@ -87,25 +85,11 @@ func main() {
 	s := m.Stats()
 	fmt.Printf("completed %d ops in %v (%.2f Mops/s)\n",
 		s.OpsTotal(), elapsed.Round(time.Millisecond), float64(s.OpsTotal())/elapsed.Seconds()/1e6)
-	fmt.Printf("allocation failures (fallback exhausted): %d\n", s.AllocFails)
-}
-
-// hotHandle returns a handle whose preferred instance is 0: handles are
-// assigned round-robin, so it drains and discards handles until the next
-// one lands on instance 0.
-func hotHandle(m *nbbs.Multi, nodes int) nbbs.Handle {
-	for {
-		h := m.NewHandle()
-		// Probe: instance k serves offsets [k*span, (k+1)*span); a probe
-		// allocation reveals the preference.
-		off, ok := h.Alloc(64)
-		if !ok {
-			return h
-		}
-		inst := m.InstanceOf(off)
-		h.Free(off)
-		if inst == 0 {
-			return h
-		}
+	rs := m.Multi().RouteStats()
+	fmt.Printf("routing: %d preferred-instance allocations, %d fallbacks to other nodes\n",
+		rs.Routed, rs.Fallbacks)
+	for _, layer := range m.LayerStats() {
+		fmt.Printf("  layer %-22s allocs=%d frees=%d fails=%d extra=%v\n",
+			layer.Layer, layer.Stats.Allocs, layer.Stats.Frees, layer.Stats.AllocFails, layer.Extra)
 	}
 }

@@ -6,9 +6,11 @@
 // allocates a response buffer of a size drawn from a realistic mix,
 // parks it in a shared connection table, and releases whatever buffer the
 // displaced connection held — usually one allocated by a different worker.
-// Each worker uses a caching front-end handle (the paper's front-end /
-// back-end composition), so most requests never touch the back-end at all;
-// the run reports how much traffic the magazines absorbed.
+// The allocator is a composed layer stack (the paper's front-end /
+// back-end composition, built with WithFrontend and optionally
+// WithInstances): every NewHandle is a caching handle, so most requests
+// never touch the back-end at all; the run reports each layer's share of
+// the traffic.
 package main
 
 import (
@@ -25,18 +27,23 @@ import (
 
 func main() {
 	var (
-		workers  = flag.Int("workers", 8, "concurrent request-serving goroutines")
-		duration = flag.Duration("duration", 2*time.Second, "simulation length")
-		conns    = flag.Int("conns", 2048, "simultaneous connections (shared table slots)")
-		variant  = flag.String("variant", nbbs.Variant4Lvl, "allocator variant")
+		workers   = flag.Int("workers", 8, "concurrent request-serving goroutines")
+		duration  = flag.Duration("duration", 2*time.Second, "simulation length")
+		conns     = flag.Int("conns", 2048, "simultaneous connections (shared table slots)")
+		variant   = flag.String("variant", nbbs.Variant4Lvl, "allocator variant")
+		instances = flag.Int("instances", 1, "back-end instances (NUMA-style router)")
 	)
 	flag.Parse()
 
+	opts := []nbbs.Option{nbbs.WithVariant(*variant), nbbs.WithFrontend(32)}
+	if *instances > 1 {
+		opts = append(opts, nbbs.WithInstances(*instances))
+	}
 	b, err := nbbs.New(nbbs.Config{
 		Total:   64 << 20,
 		MinSize: 64,
 		MaxSize: 64 << 10,
-	}, nbbs.WithVariant(*variant))
+	}, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,10 +62,13 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			h, err := b.NewCachedHandle(32)
-			if err != nil {
-				log.Fatal(err)
-			}
+			// The stack was built WithFrontend, so NewHandle is a caching
+			// handle; the assertions below reach its magazine face.
+			h := b.NewHandle().(interface {
+				nbbs.Handle
+				Flush()
+				CacheStats() nbbs.CacheStats
+			})
 			defer h.Flush()
 			rng := rand.New(rand.NewSource(int64(w) + 1))
 			for time.Now().Before(deadline) {
@@ -88,8 +98,11 @@ func main() {
 			b.Free(v - 1)
 		}
 	}
-	s := b.Stats()
 	fmt.Printf("\nserved %d requests in %v (%.0f req/s) on %s\n",
-		served.Load(), *duration, float64(served.Load())/duration.Seconds(), b.Variant())
-	fmt.Printf("back-end saw %d allocs / %d frees; magazines absorbed the rest\n", s.Allocs, s.Frees)
+		served.Load(), *duration, float64(served.Load())/duration.Seconds(), b.Name())
+	fmt.Printf("per-layer traffic (top-down):\n")
+	for _, layer := range b.LayerStats() {
+		fmt.Printf("  %-24s allocs=%-10d frees=%-10d extra=%v\n",
+			layer.Layer, layer.Stats.Allocs, layer.Stats.Frees, layer.Extra)
+	}
 }

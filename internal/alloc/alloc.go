@@ -53,8 +53,67 @@ type Handle interface {
 // metadata. Front-end layers rely on it to classify frees without
 // trusting the caller to remember sizes. Implementations panic when the
 // offset is not currently allocated.
+//
+// ChunkSizer is part of the composable-layer contract (see DESIGN.md):
+// every layer — leaf allocator, multi-instance router, caching front-end,
+// trace recorder, materialized arena — implements it, which is what lets
+// layers stack in any order.
 type ChunkSizer interface {
 	ChunkSize(offset uint64) uint64
+}
+
+// Spanner is implemented by layers whose offset space is wider than the
+// per-instance Geometry().Total — the multi-instance router serves global
+// offsets [0, Instances*Total). Layers that wrap another allocator must
+// forward it so the span survives stacking.
+type Spanner interface {
+	OffsetSpan() uint64
+}
+
+// SpanOf returns the size of an allocator's global offset space: the
+// OffsetSpan when the allocator (or stack) reports one, the managed
+// region size otherwise. Arena layers size their backing memory with it.
+func SpanOf(a Allocator) uint64 {
+	if s, ok := a.(Spanner); ok {
+		return s.OffsetSpan()
+	}
+	return a.Geometry().Total
+}
+
+// Scrubber is the quiescent maintenance hook of the non-blocking
+// allocators: Scrub rebuilds metadata from the live-allocation index,
+// shedding the conservative residue racing releases may strand (see
+// DESIGN.md). Composable layers forward Scrub inward — and may use it to
+// release layer-held resources, like a caching front-end flushing its
+// magazines — so a whole stack quiesces with one call.
+type Scrubber interface{ Scrub() }
+
+// LayerStats is one layer's contribution to a stack's counters: the
+// operations observed at that layer plus layer-specific extras (magazine
+// hits, routing fallbacks, arena bytes, ...).
+type LayerStats struct {
+	// Layer labels the layer, e.g. "cached", "multi[4x 4lvl-nb]".
+	Layer string
+	// Stats are the allocator-contract counters at this layer.
+	Stats Stats
+	// Extra carries layer-specific counters keyed by name.
+	Extra map[string]uint64
+}
+
+// LayerStatser is implemented by composable layers: LayerStats returns
+// this layer's entry followed by the entries of everything it wraps,
+// top-down. Like Stats, it is for quiescent points.
+type LayerStatser interface {
+	LayerStats() []LayerStats
+}
+
+// StackStats returns the per-layer counters of an allocator stack,
+// top-down. A leaf allocator contributes a single entry.
+func StackStats(a Allocator) []LayerStats {
+	if ls, ok := a.(LayerStatser); ok {
+		return ls.LayerStats()
+	}
+	return []LayerStats{{Layer: a.Name(), Stats: a.Stats()}}
 }
 
 // Stats counts the work performed by an allocator handle. RMW counts the

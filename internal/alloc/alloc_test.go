@@ -64,3 +64,32 @@ func TestStatsAdd(t *testing.T) {
 		t.Fatalf("OpsTotal = %d, want 33", a.OpsTotal())
 	}
 }
+
+type fakeSpanner struct{ fakeAllocator }
+
+func (f *fakeSpanner) OffsetSpan() uint64 { return 1 << 30 }
+
+func TestSpanOf(t *testing.T) {
+	plain := &fakeAllocator{name: "plain"}
+	if got := SpanOf(plain); got != 0 { // fake geometry is zero
+		t.Fatalf("SpanOf(plain) = %d, want Geometry().Total", got)
+	}
+	if got := SpanOf(&fakeSpanner{}); got != 1<<30 {
+		t.Fatalf("SpanOf(spanner) = %d, want 1<<30", got)
+	}
+}
+
+type fakeLayered struct{ fakeAllocator }
+
+func (f *fakeLayered) LayerStats() []LayerStats {
+	return []LayerStats{{Layer: "outer"}, {Layer: "inner"}}
+}
+
+func TestStackStats(t *testing.T) {
+	if got := StackStats(&fakeAllocator{name: "leaf"}); len(got) != 1 || got[0].Layer != "leaf" {
+		t.Fatalf("StackStats(leaf) = %+v", got)
+	}
+	if got := StackStats(&fakeLayered{}); len(got) != 2 || got[0].Layer != "outer" {
+		t.Fatalf("StackStats(layered) = %+v", got)
+	}
+}

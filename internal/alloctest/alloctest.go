@@ -20,14 +20,27 @@ import (
 // variant with the given evaluation label.
 func Run(t *testing.T, name string) {
 	t.Helper()
-	build := func(t *testing.T, total, minSize, maxSize uint64) alloc.Allocator {
+	RunBuilder(t, func(t *testing.T, total, minSize, maxSize uint64) alloc.Allocator {
 		t.Helper()
 		a, err := alloc.Build(name, alloc.Config{Total: total, MinSize: minSize, MaxSize: maxSize})
 		if err != nil {
 			t.Fatalf("Build(%q): %v", name, err)
 		}
 		return a
-	}
+	})
+}
+
+// Builder constructs an allocator for one conformance sub-test. The
+// returned allocator's global offset space must be [0, total) — composed
+// stacks (multi routers, caching front-ends, arenas) qualify as long as
+// their instance spans multiply out to total.
+type Builder = func(t *testing.T, total, minSize, maxSize uint64) alloc.Allocator
+
+// RunBuilder executes the full conformance suite against allocators the
+// builder constructs — the entry point for composed layer stacks, which
+// have no registry label of their own.
+func RunBuilder(t *testing.T, build Builder) {
+	t.Helper()
 
 	t.Run("FillDrainRefill", func(t *testing.T) { testFillDrainRefill(t, build) })
 	t.Run("Alignment", func(t *testing.T) { testAlignment(t, build) })
@@ -48,14 +61,17 @@ func Run(t *testing.T, name string) {
 	t.Run("StatsAccounting", func(t *testing.T) { testStatsAccounting(t, build) })
 }
 
-type builder func(t *testing.T, total, minSize, maxSize uint64) alloc.Allocator
+type builder = Builder
 
 // Scrubber is implemented by the non-blocking allocators: their release
 // path may strand conservative occupied/coalescing markings when racing
 // with concurrent operations (the unmark climb stops early by design), and
 // Scrub rebuilds the metadata from the live-allocation index at a
 // quiescent point. The stale bits only ever claim more occupancy than
-// real, so this is a liveness matter, never a safety one.
+// real, so this is a liveness matter, never a safety one. Composed stacks
+// forward Scrub inward and use it to release layer-held chunks too — a
+// caching front-end flushes its magazines — so a stack that scrubs is a
+// stack that fully quiesces.
 type Scrubber interface{ Scrub() }
 
 // mustAllocAfterDrain asserts that size is allocatable on a (supposedly)

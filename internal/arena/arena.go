@@ -8,9 +8,20 @@
 // Keeping materialization optional lets the benchmark harness measure pure
 // allocator behaviour — the paper's benchmarks never touch the allocated
 // payload either — without reserving gigabytes of RSS.
+//
+// Materialize wraps any allocator stack as a composable layer: it sizes
+// real memory to the stack's global offset span and hands out byte
+// windows for live chunks. Over a multi-instance router it keeps one
+// sub-arena per instance — the per-NUMA-node memory the router models —
+// behind the single global offset space.
 package arena
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/geometry"
+)
 
 // Arena is a contiguous region of Total bytes, optionally backed by a slab.
 type Arena struct {
@@ -45,4 +56,132 @@ func (a *Arena) Bytes(offset, size uint64) []byte {
 		panic(fmt.Sprintf("arena: window [%d,%d) outside region of %d bytes", offset, offset+size, a.total))
 	}
 	return a.slab[offset : offset+size : offset+size]
+}
+
+// Allocator is the materialized-region layer: a pass-through allocator
+// stack layer that additionally backs the wrapped stack's offset space
+// with real memory, so callers can read and write the chunks they are
+// granted. It forwards the whole composable contract (ChunkSizer,
+// Spanner, Scrubber, LayerStatser), so it stacks over any allocator —
+// including a multi-instance router, where it keeps one sub-arena per
+// instance behind the global offset space.
+type Allocator struct {
+	inner   alloc.Allocator
+	sizer   alloc.ChunkSizer
+	span    uint64   // global offset span
+	segSize uint64   // bytes per sub-arena
+	segs    []*Arena // one per instance (one total for single-instance stacks)
+}
+
+// instanceCounter is implemented by the multi-instance router; unwrapper
+// by every layer that wraps a single inner allocator.
+type instanceCounter interface{ Instances() int }
+type unwrapper interface{ Unwrap() alloc.Allocator }
+
+// segmentsOf walks the stack down to the multi-instance router (if any)
+// to learn how many sub-arenas the offset space splits into.
+func segmentsOf(a alloc.Allocator) int {
+	for {
+		if ic, ok := a.(instanceCounter); ok {
+			return ic.Instances()
+		}
+		w, ok := a.(unwrapper)
+		if !ok {
+			return 1
+		}
+		a = w.Unwrap()
+	}
+}
+
+// Materialize wraps a stack with a materialized region sized to its
+// global offset span. The stack must implement alloc.ChunkSizer so Bytes
+// can learn the reserved window of an offset.
+func Materialize(inner alloc.Allocator) (*Allocator, error) {
+	sizer, ok := inner.(alloc.ChunkSizer)
+	if !ok {
+		return nil, fmt.Errorf("arena: %s cannot report chunk sizes", inner.Name())
+	}
+	span := alloc.SpanOf(inner)
+	segments := segmentsOf(inner)
+	a := &Allocator{
+		inner:   inner,
+		sizer:   sizer,
+		span:    span,
+		segSize: span / uint64(segments),
+	}
+	for i := 0; i < segments; i++ {
+		a.segs = append(a.segs, New(a.segSize, true))
+	}
+	return a, nil
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "mat+" + a.inner.Name() }
+
+// Geometry implements alloc.Allocator.
+func (a *Allocator) Geometry() geometry.Geometry { return a.inner.Geometry() }
+
+// OffsetSpan implements alloc.Spanner.
+func (a *Allocator) OffsetSpan() uint64 { return a.span }
+
+// Unwrap exposes the wrapped stack to generic stack walkers.
+func (a *Allocator) Unwrap() alloc.Allocator { return a.inner }
+
+// Alloc implements alloc.Allocator (pass-through).
+func (a *Allocator) Alloc(size uint64) (uint64, bool) { return a.inner.Alloc(size) }
+
+// Free implements alloc.Allocator (pass-through).
+func (a *Allocator) Free(offset uint64) { a.inner.Free(offset) }
+
+// NewHandle implements alloc.Allocator (pass-through: the layer holds no
+// per-worker state, so inner handles are used directly).
+func (a *Allocator) NewHandle() alloc.Handle { return a.inner.NewHandle() }
+
+// Stats implements alloc.Allocator (pass-through).
+func (a *Allocator) Stats() alloc.Stats { return a.inner.Stats() }
+
+// ChunkSize implements alloc.ChunkSizer (pass-through).
+func (a *Allocator) ChunkSize(offset uint64) uint64 { return a.sizer.ChunkSize(offset) }
+
+// Scrub implements alloc.Scrubber (pass-through).
+func (a *Allocator) Scrub() {
+	if s, ok := a.inner.(alloc.Scrubber); ok {
+		s.Scrub()
+	}
+}
+
+// LayerStats implements alloc.LayerStatser: the arena contributes no
+// operation counters, only its memory footprint.
+func (a *Allocator) LayerStats() []alloc.LayerStats {
+	entry := alloc.LayerStats{
+		Layer: "mat",
+		Extra: map[string]uint64{
+			"bytes":    a.span,
+			"segments": uint64(len(a.segs)),
+		},
+	}
+	return append([]alloc.LayerStats{entry}, alloc.StackStats(a.inner)...)
+}
+
+// Bytes returns the memory window of a live chunk at a global offset as a
+// slice; the slice is valid until the chunk is freed. A chunk never
+// crosses a sub-arena boundary: chunks are size-aligned within their
+// instance's window and no larger than it.
+func (a *Allocator) Bytes(offset uint64) []byte {
+	size := a.sizer.ChunkSize(offset)
+	seg := offset / a.segSize
+	if int(seg) >= len(a.segs) {
+		panic(fmt.Sprintf("arena: offset %#x outside the materialized span of %d bytes", offset, a.span))
+	}
+	return a.segs[seg].Bytes(offset-seg*a.segSize, size)
+}
+
+// AllocBytes combines Alloc and Bytes: it reserves at least size bytes
+// and returns the chunk's window plus the offset (the Free token).
+func (a *Allocator) AllocBytes(size uint64) (buf []byte, offset uint64, ok bool) {
+	off, ok := a.inner.Alloc(size)
+	if !ok {
+		return nil, 0, false
+	}
+	return a.Bytes(off), off, true
 }

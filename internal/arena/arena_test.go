@@ -1,6 +1,11 @@
 package arena
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/geometry"
+)
 
 func TestMaterialized(t *testing.T) {
 	a := New(4096, true)
@@ -54,5 +59,61 @@ func TestOutOfBounds(t *testing.T) {
 	// The full window is fine.
 	if len(a.Bytes(0, 4096)) != 4096 {
 		t.Error("full-region window failed")
+	}
+}
+
+// fakeMulti is a minimal multi-like stack: 2 "instances" of half the
+// span each, enough to exercise segmented materialization without
+// importing a leaf allocator package.
+type fakeMulti struct {
+	geo   geometry.Geometry
+	sizes map[uint64]uint64
+}
+
+func (f *fakeMulti) Name() string                { return "fake-multi" }
+func (f *fakeMulti) Geometry() geometry.Geometry { return f.geo }
+func (f *fakeMulti) Alloc(uint64) (uint64, bool) { return 0, false }
+func (f *fakeMulti) Free(uint64)                 {}
+func (f *fakeMulti) NewHandle() alloc.Handle     { return nil }
+func (f *fakeMulti) Stats() alloc.Stats          { return alloc.Stats{} }
+func (f *fakeMulti) Instances() int              { return 2 }
+func (f *fakeMulti) OffsetSpan() uint64          { return 2 * f.geo.Total }
+func (f *fakeMulti) ChunkSize(off uint64) uint64 { return f.sizes[off] }
+
+func TestMaterializeSegmentsPerInstance(t *testing.T) {
+	geo := geometry.MustNew(4096, 64, 1024)
+	inner := &fakeMulti{geo: geo, sizes: map[uint64]uint64{0: 64, 4096 + 128: 256}}
+	m, err := Materialize(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OffsetSpan() != 8192 || len(m.segs) != 2 {
+		t.Fatalf("span/segments = %d/%d, want 8192/2", m.OffsetSpan(), len(m.segs))
+	}
+	// Windows in both instances' offset ranges materialize and are
+	// disjoint backing memory.
+	w0 := m.Bytes(0)
+	w1 := m.Bytes(4096 + 128)
+	if len(w0) != 64 || len(w1) != 256 {
+		t.Fatalf("window sizes = %d/%d, want 64/256", len(w0), len(w1))
+	}
+	w0[0], w1[0] = 0x11, 0x22
+	if m.Bytes(0)[0] != 0x11 || m.Bytes(4096 + 128)[0] != 0x22 {
+		t.Fatal("windows do not alias their sub-arenas")
+	}
+	// Offsets beyond the span panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("Bytes outside the span did not panic")
+		}
+	}()
+	inner.sizes[8192] = 64
+	m.Bytes(8192)
+}
+
+func TestMaterializeRequiresChunkSizer(t *testing.T) {
+	bare := struct{ alloc.Allocator }{&fakeMulti{geo: geometry.MustNew(4096, 64, 1024)}}
+	if _, err := Materialize(bare); err == nil {
+		t.Error("allocator without ChunkSize accepted")
 	}
 }

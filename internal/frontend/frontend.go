@@ -12,10 +12,16 @@
 // combination with the non-blocking back-end is that magazine misses and
 // spills — the cross-thread contention points of a cached design — hit an
 // allocator that does not serialize them.
+//
+// The front-end is a composable layer (see DESIGN.md): it works over any
+// alloc.Allocator that implements alloc.ChunkSizer — a leaf variant, a
+// multi-instance router, a traced stack — and itself forwards the whole
+// layer contract, so further layers stack on top of it.
 package frontend
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/alloc"
 	"repro/internal/geometry"
@@ -30,10 +36,14 @@ type Allocator struct {
 	sizer   alloc.ChunkSizer
 	geo     geometry.Geometry
 	magCap  int
+
+	mu      sync.Mutex
+	handles []*Handle
+	conv    alloc.Stats // ops served by the pass-through convenience path
 }
 
 // New layers a front-end over the given back-end, which must implement
-// alloc.ChunkSizer (all allocators in this repository do): frees enter the
+// alloc.ChunkSizer (every layer in this repository does): frees enter the
 // magazine of the size class the chunk was reserved at, which only the
 // back-end metadata knows.
 func New(backend alloc.Allocator, magCap int) (*Allocator, error) {
@@ -53,29 +63,118 @@ func (a *Allocator) Name() string { return "cached+" + a.backend.Name() }
 // Geometry implements alloc.Allocator.
 func (a *Allocator) Geometry() geometry.Geometry { return a.geo }
 
+// OffsetSpan implements alloc.Spanner by forwarding the wrapped stack's
+// offset space (a multi-instance back-end is wider than its Geometry).
+func (a *Allocator) OffsetSpan() uint64 { return alloc.SpanOf(a.backend) }
+
 // Backend exposes the wrapped back-end (for statistics and tests).
 func (a *Allocator) Backend() alloc.Allocator { return a.backend }
 
+// Unwrap exposes the wrapped back-end to generic stack walkers.
+func (a *Allocator) Unwrap() alloc.Allocator { return a.backend }
+
+// ChunkSize implements alloc.ChunkSizer by forwarding to the back-end
+// metadata (the front-end never changes chunk placement, only who holds a
+// free chunk).
+func (a *Allocator) ChunkSize(offset uint64) uint64 { return a.sizer.ChunkSize(offset) }
+
 // Alloc implements alloc.Allocator by passing through to the back-end:
 // caching only pays per-worker, so the convenience path does not cache.
-func (a *Allocator) Alloc(size uint64) (uint64, bool) { return a.backend.Alloc(size) }
+func (a *Allocator) Alloc(size uint64) (uint64, bool) {
+	off, ok := a.backend.Alloc(size)
+	a.mu.Lock()
+	if ok {
+		a.conv.Allocs++
+	} else {
+		a.conv.AllocFails++
+	}
+	a.mu.Unlock()
+	return off, ok
+}
 
 // Free implements alloc.Allocator (pass-through, see Alloc).
-func (a *Allocator) Free(offset uint64) { a.backend.Free(offset) }
+func (a *Allocator) Free(offset uint64) {
+	a.backend.Free(offset)
+	a.mu.Lock()
+	a.conv.Frees++
+	a.mu.Unlock()
+}
 
-// Stats implements alloc.Allocator; it reports the back-end's counters
-// (the interesting metric: how much traffic the magazines absorbed is the
-// difference against the front-end handles' CacheStats).
-func (a *Allocator) Stats() alloc.Stats { return a.backend.Stats() }
+// Stats implements alloc.Allocator with this layer's view of the traffic:
+// the operations served at the front-end (magazine hits included),
+// aggregated across handles and the convenience path. The back-end's own
+// counters — how much traffic the magazines did NOT absorb — remain
+// available via Backend().Stats() and LayerStats. Quiescent points only.
+func (a *Allocator) Stats() alloc.Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	total := a.conv
+	for _, h := range a.handles {
+		total.Add(h.stats)
+	}
+	return total
+}
+
+// CacheTotals aggregates the magazine counters of every handle created so
+// far; quiescent points only.
+func (a *Allocator) CacheTotals() CacheStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var total CacheStats
+	for _, h := range a.handles {
+		total.Hits += h.cache.Hits
+		total.Misses += h.cache.Misses
+		total.Spills += h.cache.Spills
+		total.Refills += h.cache.Refills
+	}
+	return total
+}
+
+// Scrub implements alloc.Scrubber for the stack: it flushes every
+// handle's magazines back to the back-end, then forwards Scrub inward.
+// Magazines are per-worker state, so this is strictly quiescent-only —
+// no handle may be in use concurrently.
+func (a *Allocator) Scrub() {
+	a.mu.Lock()
+	handles := append([]*Handle(nil), a.handles...)
+	a.mu.Unlock()
+	for _, h := range handles {
+		h.Flush()
+	}
+	if s, ok := a.backend.(alloc.Scrubber); ok {
+		s.Scrub()
+	}
+}
+
+// LayerStats implements alloc.LayerStatser: the front-end entry with its
+// magazine counters, then the wrapped stack's entries.
+func (a *Allocator) LayerStats() []alloc.LayerStats {
+	cache := a.CacheTotals()
+	entry := alloc.LayerStats{
+		Layer: "cached",
+		Stats: a.Stats(),
+		Extra: map[string]uint64{
+			"hits":    cache.Hits,
+			"misses":  cache.Misses,
+			"spills":  cache.Spills,
+			"refills": cache.Refills,
+		},
+	}
+	return append([]alloc.LayerStats{entry}, alloc.StackStats(a.backend)...)
+}
 
 // NewHandle implements alloc.Allocator.
 func (a *Allocator) NewHandle() alloc.Handle {
 	classes := a.geo.Depth - a.geo.MaxLevel + 1
-	return &Handle{
+	h := &Handle{
 		a:    a,
 		back: a.backend.NewHandle(),
 		mags: make([][]uint64, classes),
 	}
+	a.mu.Lock()
+	a.handles = append(a.handles, h)
+	a.mu.Unlock()
+	return h
 }
 
 // CacheStats counts magazine behaviour per handle.
@@ -88,7 +187,7 @@ type CacheStats struct {
 
 // Handle is the per-worker caching face. It is not safe for concurrent
 // use. Call Flush before dropping a handle, or its cached chunks stay
-// reserved in the back-end.
+// reserved in the back-end until the allocator-level Scrub reclaims them.
 type Handle struct {
 	a     *Allocator
 	back  alloc.Handle

@@ -192,4 +192,72 @@ func TestPassThroughConvenience(t *testing.T) {
 	if fe.Geometry().Total != 1<<20 {
 		t.Fatal("geometry not forwarded")
 	}
+	s := fe.Stats()
+	if s.Allocs != 1 || s.Frees != 1 {
+		t.Fatalf("convenience ops not counted at the layer: %+v", s)
+	}
+}
+
+func TestChunkSizeForwarded(t *testing.T) {
+	fe, err := frontend.New(backend(t, "4lvl-nb"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, ok := fe.Alloc(100)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if got := fe.ChunkSize(off); got != 128 {
+		t.Fatalf("ChunkSize = %d, want 128", got)
+	}
+	fe.Free(off)
+}
+
+// TestScrubFlushesMagazines: the layer's Scrub must return every
+// magazine-parked chunk to the back-end (quiescent-only maintenance),
+// so a drained stack is genuinely drained.
+func TestScrubFlushesMagazines(t *testing.T) {
+	fe, err := frontend.New(backend(t, "4lvl-nb"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fe.NewHandle().(*frontend.Handle)
+	off, ok := h.Alloc(64)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	h.Free(off) // parked, still allocated in the back-end
+	s := fe.Backend().Stats()
+	if s.Allocs == s.Frees {
+		t.Fatal("test premise broken: parked chunk should still be live in the back-end")
+	}
+	fe.Scrub()
+	if h.Cached() != 0 {
+		t.Fatalf("%d chunks still cached after Scrub", h.Cached())
+	}
+	s = fe.Backend().Stats()
+	if s.Allocs != s.Frees {
+		t.Fatalf("back-end unbalanced after Scrub: %d/%d", s.Allocs, s.Frees)
+	}
+}
+
+func TestCacheTotalsAggregate(t *testing.T) {
+	fe, err := frontend.New(backend(t, "4lvl-nb"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := fe.NewHandle().(*frontend.Handle)
+	h2 := fe.NewHandle().(*frontend.Handle)
+	for _, h := range []*frontend.Handle{h1, h2} {
+		off, _ := h.Alloc(64)
+		h.Free(off)
+		off, _ = h.Alloc(64) // hit
+		h.Free(off)
+	}
+	totals := fe.CacheTotals()
+	if totals.Hits != 2 || totals.Misses != 2 {
+		t.Fatalf("CacheTotals = %+v, want 2 hits / 2 misses", totals)
+	}
+	h1.Flush()
+	h2.Flush()
 }

@@ -7,11 +7,15 @@
 // The wrapper is deliberately orthogonal to the allocator variant: it
 // takes any registered back-end (non-blocking or spin-locked), which is
 // exactly the paper's point — multi-instance data separation and
-// non-blocking single-instance management compose.
+// non-blocking single-instance management compose. It is a full citizen
+// of the composable layer contract (alloc.ChunkSizer, alloc.Spanner,
+// alloc.LayerStatser, alloc.Scrubber), so caching front-ends and
+// materialized arenas stack over it transparently.
 package multi
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/alloc"
@@ -35,9 +39,19 @@ const (
 // space: instance k serves global offsets [k*Total, (k+1)*Total).
 type Multi struct {
 	instances []alloc.Allocator
+	sizers    []alloc.ChunkSizer
 	policy    Policy
 	span      uint64 // per-instance managed bytes
 	next      atomic.Uint64
+
+	mu      sync.Mutex
+	handles []*Handle
+	// free holds idle convenience handles for Multi.Alloc/Free. A plain
+	// free list (not sync.Pool) keeps the permanently-registered handle
+	// count bounded by the convenience path's peak concurrency —
+	// sync.Pool deliberately drops items (always under the race
+	// detector), which would regrow the registration leak.
+	free []*Handle
 }
 
 // New builds count instances of the named back-end variant.
@@ -51,7 +65,12 @@ func New(variant string, count int, cfg alloc.Config, policy Policy) (*Multi, er
 		if err != nil {
 			return nil, fmt.Errorf("multi: instance %d: %w", i, err)
 		}
+		sizer, ok := a.(alloc.ChunkSizer)
+		if !ok {
+			return nil, fmt.Errorf("multi: back-end %s cannot report chunk sizes", a.Name())
+		}
 		m.instances = append(m.instances, a)
+		m.sizers = append(m.sizers, sizer)
 	}
 	return m, nil
 }
@@ -62,42 +81,125 @@ func (m *Multi) Name() string {
 }
 
 // Geometry implements alloc.Allocator; it reports the per-instance
-// geometry (instances are identical).
+// geometry (instances are identical). The global offset space is wider:
+// see OffsetSpan.
 func (m *Multi) Geometry() geometry.Geometry { return m.instances[0].Geometry() }
+
+// OffsetSpan implements alloc.Spanner: the router serves global offsets
+// [0, Instances*Total).
+func (m *Multi) OffsetSpan() uint64 { return m.span * uint64(len(m.instances)) }
 
 // Instances returns the number of composed back-ends.
 func (m *Multi) Instances() int { return len(m.instances) }
 
+// Instance returns the k-th composed back-end (for per-instance stats).
+func (m *Multi) Instance(k int) alloc.Allocator { return m.instances[k] }
+
 // InstanceOf returns which instance serves a global offset.
 func (m *Multi) InstanceOf(offset uint64) int { return int(offset / m.span) }
 
-// Alloc implements alloc.Allocator through a transient handle.
-func (m *Multi) Alloc(size uint64) (uint64, bool) {
-	h := m.NewHandle()
-	return h.Alloc(size)
+// route validates a global offset and splits it into (instance, local).
+func (m *Multi) route(offset uint64) (int, uint64) {
+	k := m.InstanceOf(offset)
+	if k >= len(m.instances) {
+		panic(fmt.Sprintf("multi: offset %#x outside the %d-instance offset space", offset, len(m.instances)))
+	}
+	return k, offset - uint64(k)*m.span
 }
 
-// Free implements alloc.Allocator.
+// getConv pops an idle convenience handle, creating one only when all
+// are in flight.
+func (m *Multi) getConv() *Handle {
+	m.mu.Lock()
+	if n := len(m.free); n > 0 {
+		h := m.free[n-1]
+		m.free = m.free[:n-1]
+		m.mu.Unlock()
+		return h
+	}
+	m.mu.Unlock()
+	return m.newHandle(m.prefer())
+}
+
+func (m *Multi) putConv(h *Handle) {
+	m.mu.Lock()
+	m.free = append(m.free, h)
+	m.mu.Unlock()
+}
+
+// Alloc implements alloc.Allocator through a recycled convenience
+// handle. Earlier revisions built a fresh handle per call; every handle
+// permanently registers sub-handles on every instance, so the
+// convenience path leaked without bound. The free list keeps the
+// registration count at the peak concurrency of the convenience path
+// instead.
+func (m *Multi) Alloc(size uint64) (uint64, bool) {
+	h := m.getConv()
+	off, ok := h.Alloc(size)
+	m.putConv(h)
+	return off, ok
+}
+
+// Free implements alloc.Allocator (through a recycled handle, so the
+// routing layer's Frees counter stays in balance with Allocs).
 func (m *Multi) Free(offset uint64) {
-	k := m.InstanceOf(offset)
-	m.instances[k].Free(offset - uint64(k)*m.span)
+	h := m.getConv()
+	h.Free(offset)
+	m.putConv(h)
+}
+
+// ChunkSize implements alloc.ChunkSizer by routing the global offset to
+// the owning instance's metadata.
+func (m *Multi) ChunkSize(offset uint64) uint64 {
+	k, local := m.route(offset)
+	return m.sizers[k].ChunkSize(local)
+}
+
+// Scrub implements alloc.Scrubber: it forwards to every instance that
+// supports scrubbing. Like any Scrub, quiescent points only.
+func (m *Multi) Scrub() {
+	for _, inst := range m.instances {
+		if s, ok := inst.(alloc.Scrubber); ok {
+			s.Scrub()
+		}
+	}
+}
+
+// prefer picks the preferred instance for the next handle by policy.
+func (m *Multi) prefer() int {
+	if m.policy == RoundRobin {
+		return int(m.next.Add(1)-1) % len(m.instances)
+	}
+	return 0
 }
 
 // NewHandle implements alloc.Allocator: the handle carries the preferred
 // instance chosen by the policy plus per-instance sub-handles.
-func (m *Multi) NewHandle() alloc.Handle {
-	pref := 0
-	if m.policy == RoundRobin {
-		pref = int(m.next.Add(1)-1) % len(m.instances)
+func (m *Multi) NewHandle() alloc.Handle { return m.newHandle(m.prefer()) }
+
+// NewHandleOn returns a handle pinned to the given preferred instance —
+// the explicit memory-policy binding (a thread bound to a NUMA node)
+// that the Fixed policy hard-wires to instance 0.
+func (m *Multi) NewHandleOn(instance int) alloc.Handle {
+	if instance < 0 || instance >= len(m.instances) {
+		panic(fmt.Sprintf("multi: NewHandleOn(%d) with %d instances", instance, len(m.instances)))
 	}
+	return m.newHandle(instance)
+}
+
+func (m *Multi) newHandle(pref int) *Handle {
 	h := &Handle{m: m, pref: pref, subs: make([]alloc.Handle, len(m.instances))}
 	for i, inst := range m.instances {
 		h.subs[i] = inst.NewHandle()
 	}
+	m.mu.Lock()
+	m.handles = append(m.handles, h)
+	m.mu.Unlock()
 	return h
 }
 
-// Stats aggregates all instances.
+// Stats aggregates all instances (the back-end view of the traffic; the
+// routing layer's own counters are in LayerStats).
 func (m *Multi) Stats() alloc.Stats {
 	var total alloc.Stats
 	for _, inst := range m.instances {
@@ -106,12 +208,71 @@ func (m *Multi) Stats() alloc.Stats {
 	return total
 }
 
+// RouteStats are the routing-layer counters aggregated across handles.
+type RouteStats struct {
+	// Routed counts allocations served by the handle's preferred instance.
+	Routed uint64
+	// Fallbacks counts allocations the preferred instance could not serve
+	// that another instance absorbed (the kernel's zone-fallback path).
+	Fallbacks uint64
+}
+
+// Handles returns the number of handles registered so far (pooled
+// convenience handles included) — a diagnostic for the handle-leak
+// regression test and capacity monitoring.
+func (m *Multi) Handles() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.handles)
+}
+
+// RouteStats aggregates the routing counters of all handles; quiescent
+// points only.
+func (m *Multi) RouteStats() RouteStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total RouteStats
+	for _, h := range m.handles {
+		total.Routed += h.stats.Allocs - h.fallbacks
+		total.Fallbacks += h.fallbacks
+	}
+	return total
+}
+
+// LayerStats implements alloc.LayerStatser: the routing layer's entry
+// (handle-level ops plus fallback counters) followed by one aggregated
+// entry for the instance fleet.
+func (m *Multi) LayerStats() []alloc.LayerStats {
+	m.mu.Lock()
+	var routing alloc.Stats
+	var fallbacks uint64
+	for _, h := range m.handles {
+		routing.Add(h.stats)
+		fallbacks += h.fallbacks
+	}
+	m.mu.Unlock()
+	entry := alloc.LayerStats{
+		Layer: m.Name(),
+		Stats: routing,
+		Extra: map[string]uint64{
+			"instances": uint64(len(m.instances)),
+			"fallbacks": fallbacks,
+		},
+	}
+	backend := alloc.LayerStats{
+		Layer: fmt.Sprintf("%s x%d", m.instances[0].Name(), len(m.instances)),
+		Stats: m.Stats(),
+	}
+	return []alloc.LayerStats{entry, backend}
+}
+
 // Handle is the per-worker face of the composed allocator.
 type Handle struct {
-	m     *Multi
-	pref  int
-	subs  []alloc.Handle
-	stats alloc.Stats
+	m         *Multi
+	pref      int
+	subs      []alloc.Handle
+	stats     alloc.Stats
+	fallbacks uint64
 }
 
 // Alloc tries the preferred instance first and falls back to the others in
@@ -122,6 +283,9 @@ func (h *Handle) Alloc(size uint64) (uint64, bool) {
 		k := (h.pref + d) % n
 		if off, ok := h.subs[k].Alloc(size); ok {
 			h.stats.Allocs++
+			if d != 0 {
+				h.fallbacks++
+			}
 			return uint64(k)*h.m.span + off, true
 		}
 	}
@@ -131,8 +295,8 @@ func (h *Handle) Alloc(size uint64) (uint64, bool) {
 
 // Free routes the offset back to its owning instance.
 func (h *Handle) Free(offset uint64) {
-	k := h.m.InstanceOf(offset)
-	h.subs[k].Free(offset - uint64(k)*h.m.span)
+	k, local := h.m.route(offset)
+	h.subs[k].Free(local)
 	h.stats.Frees++
 }
 

@@ -153,3 +153,113 @@ func TestName(t *testing.T) {
 		t.Fatalf("Name = %q", m.Name())
 	}
 }
+
+func TestChunkSizeRoutesGlobally(t *testing.T) {
+	m, err := multi.New("1lvl-nb", 4, per, multi.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin a handle per instance so allocations land in every window.
+	for k := 0; k < 4; k++ {
+		h := m.NewHandleOn(k)
+		off, ok := h.Alloc(100)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		if m.InstanceOf(off) != k {
+			t.Fatalf("pinned handle %d landed on instance %d", k, m.InstanceOf(off))
+		}
+		if got := m.ChunkSize(off); got != 128 {
+			t.Fatalf("ChunkSize(%#x) = %d, want 128", off, got)
+		}
+		h.Free(off)
+	}
+	// An offset outside the global span panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("ChunkSize outside the offset space did not panic")
+		}
+	}()
+	m.ChunkSize(4 * per.Total)
+}
+
+func TestOffsetSpan(t *testing.T) {
+	m, err := multi.New("1lvl-nb", 4, per, multi.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := alloc.SpanOf(m); got != 4*per.Total {
+		t.Fatalf("SpanOf = %d, want %d", got, 4*per.Total)
+	}
+}
+
+// TestConvenienceDoesNotLeakHandles regresses the transient-handle leak:
+// the convenience Alloc/Free path must reuse pooled handles instead of
+// permanently registering a fresh sub-handle set per call.
+func TestConvenienceDoesNotLeakHandles(t *testing.T) {
+	m, err := multi.New("1lvl-nb", 2, per, multi.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		off, ok := m.Alloc(64)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		m.Free(off)
+	}
+	if got := m.Handles(); got > 4 {
+		t.Fatalf("%d handles registered by 2000 sequential convenience ops", got)
+	}
+}
+
+func TestRouteStatsCountFallbacks(t *testing.T) {
+	m, err := multi.New("1lvl-nb", 2, per, multi.Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.NewHandle()
+	// Fill instance 0 with max-size chunks; the next allocation must fall
+	// back to instance 1 and be counted.
+	var offs []uint64
+	for i := 0; i < int(per.Total/per.MaxSize); i++ {
+		off, ok := h.Alloc(per.MaxSize)
+		if !ok {
+			t.Fatal("fill alloc failed")
+		}
+		offs = append(offs, off)
+	}
+	off, ok := h.Alloc(per.MaxSize)
+	if !ok || m.InstanceOf(off) != 1 {
+		t.Fatalf("fallback alloc = (%v, instance %d)", ok, m.InstanceOf(off))
+	}
+	offs = append(offs, off)
+	rs := m.RouteStats()
+	if rs.Fallbacks != 1 {
+		t.Fatalf("RouteStats.Fallbacks = %d, want 1", rs.Fallbacks)
+	}
+	if rs.Routed != uint64(len(offs)-1) {
+		t.Fatalf("RouteStats.Routed = %d, want %d", rs.Routed, len(offs)-1)
+	}
+	for _, off := range offs {
+		m.Free(off)
+	}
+}
+
+func TestScrubForwardsToInstances(t *testing.T) {
+	m, err := multi.New("1lvl-nb", 2, per, multi.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scrub on a quiescent router must be a no-op, not a panic, and keep
+	// the full span allocatable.
+	m.Scrub()
+	for k := 0; k < 2; k++ {
+		h := m.NewHandleOn(k)
+		off, ok := h.Alloc(per.MaxSize)
+		if !ok {
+			t.Fatalf("instance %d cannot serve max-size after Scrub", k)
+		}
+		h.Free(off)
+	}
+}

@@ -1,0 +1,117 @@
+package stack_test
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/alloctest"
+	"repro/internal/multi"
+	"repro/internal/stack"
+	"repro/internal/trace"
+
+	_ "repro/internal/bunch"
+	_ "repro/internal/core"
+)
+
+// instancesFor picks the largest instance count (up to want) whose share
+// of total can still serve maxSize, mirroring the registry composites.
+func instancesFor(want int, total, maxSize uint64) int {
+	n := want
+	for n > 1 && total/uint64(n) < maxSize {
+		n /= 2
+	}
+	return n
+}
+
+// specBuilder adapts a Spec template to the conformance suite: the
+// suite's (total, minSize, maxSize) describes the GLOBAL offset space,
+// which multi specs split over their instances.
+func specBuilder(template stack.Spec, wantInstances int) alloctest.Builder {
+	return func(t *testing.T, total, minSize, maxSize uint64) alloc.Allocator {
+		t.Helper()
+		s := template
+		n := 1
+		if wantInstances > 1 {
+			n = instancesFor(wantInstances, total, maxSize)
+		}
+		if n > 1 {
+			s.Instances = n
+		} else {
+			s.Instances = 0
+		}
+		s.Per = alloc.Config{Total: total / uint64(n), MinSize: minSize, MaxSize: maxSize}
+		if template.Record != nil {
+			// A fresh trace per instance, or replays of earlier sub-tests
+			// would interleave.
+			s.Record = &trace.Trace{}
+		}
+		st, err := stack.Build(s)
+		if err != nil {
+			t.Fatalf("stack.Build: %v", err)
+		}
+		return st.Top
+	}
+}
+
+// TestConformanceCachedMulti runs the full conformance suite over the
+// caching front-end stacked on a 4-instance router — the composition the
+// seed rejected outright (frontend.New failed on Multi's missing
+// ChunkSizer).
+func TestConformanceCachedMulti(t *testing.T) {
+	alloctest.RunBuilder(t, specBuilder(stack.Spec{
+		Variant: "4lvl-nb",
+		Cached:  true, Magazine: 8,
+	}, 4))
+}
+
+// TestConformanceTraceCached runs the suite over the trace recorder
+// stacked on the caching front-end: every handle operation is recorded
+// while the magazines reshape the back-end traffic underneath.
+func TestConformanceTraceCached(t *testing.T) {
+	alloctest.RunBuilder(t, specBuilder(stack.Spec{
+		Variant: "1lvl-nb",
+		Cached:  true, Magazine: 8,
+		Record: &trace.Trace{},
+	}, 1))
+}
+
+// TestConformanceMultiMaterialized runs the suite over a materialized
+// 4-instance router — the composition nbbs.NewMulti used to reject.
+func TestConformanceMultiMaterialized(t *testing.T) {
+	alloctest.RunBuilder(t, specBuilder(stack.Spec{
+		Variant:     "4lvl-nb",
+		Materialize: true,
+	}, 4))
+}
+
+// TestConformanceFullStack runs the suite over the complete production
+// composition of the acceptance criteria: caching front-end + 4-instance
+// router + materialized region.
+func TestConformanceFullStack(t *testing.T) {
+	alloctest.RunBuilder(t, specBuilder(stack.Spec{
+		Variant: "4lvl-nb",
+		Cached:  true, Magazine: 8,
+		Materialize: true,
+	}, 4))
+}
+
+// TestConformanceRegistryComposites runs the suite over the composite
+// variants registered for the benchmark harness, by name like any leaf.
+func TestConformanceRegistryComposites(t *testing.T) {
+	for _, name := range []string{"cached+4lvl-nb", "multi4+4lvl-nb", "cached+multi4+4lvl-nb"} {
+		t.Run(name, func(t *testing.T) { alloctest.Run(t, name) })
+	}
+}
+
+// TestConformanceFixedPolicyMulti pins every handle to instance 0 (the
+// paper's Figure 12 memory policy) and checks the fallback path keeps
+// the composed allocator conformant.
+func TestConformanceFixedPolicyMulti(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fixed-policy sweep skipped in -short")
+	}
+	alloctest.RunBuilder(t, specBuilder(stack.Spec{
+		Variant: "4lvl-nb",
+		Policy:  multi.Fixed,
+	}, 4))
+}

@@ -1,0 +1,213 @@
+// Package stack assembles allocator layer stacks: any alloc.Allocator
+// leaf wrapped by any combination of the composable layers — the
+// multi-instance router (internal/multi), the caching front-end
+// (internal/frontend), the trace recorder (internal/trace) and the
+// materialized arena (internal/arena).
+//
+// Every layer implements the full composable contract (alloc.Allocator +
+// alloc.ChunkSizer, forwarding alloc.Spanner, alloc.Scrubber and
+// alloc.LayerStatser), so the layers stack in any order; Build fixes the
+// canonical production order the paper's conclusions call for:
+//
+//	leaf variant(s) -> multi router -> caching front-end -> trace -> arena
+//
+// Common compositions are also registered as allocator variants
+// ("cached+4lvl-nb", "multi4+4lvl-nb", "cached+multi4+4lvl-nb"), which
+// makes them first-class citizens of every harness in the repository:
+// nbbsbench sweeps, nbbsstress verification, and the conformance suite
+// build them by name like any leaf allocator. For those names the
+// Config.Total is the global span; the multi router splits it evenly
+// over up to four instances (fewer when MaxSize needs a larger share).
+package stack
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/arena"
+	"repro/internal/frontend"
+	"repro/internal/multi"
+	"repro/internal/trace"
+)
+
+// Spec describes a layer stack bottom-up.
+type Spec struct {
+	// Variant is the leaf allocator's registered label. Registered
+	// composites work too: a stack can be a layer of another stack.
+	Variant string
+	// Per is the per-instance geometry (the global span of the stack is
+	// Per.Total * Instances).
+	Per alloc.Config
+	// Instances >= 1 inserts the multi-instance router with the given
+	// routing Policy (a 1-instance router is valid: routing introspection
+	// works, fallback is a no-op); 0 builds a bare leaf.
+	Instances int
+	// Policy selects handle routing for the multi router.
+	Policy multi.Policy
+	// Cached inserts the caching front-end; Magazine is the per-class
+	// capacity (0 = frontend.DefaultMagazine).
+	Cached   bool
+	Magazine int
+	// Record, when non-nil, inserts the trace-recording layer appending
+	// to this trace.
+	Record *trace.Trace
+	// Materialize wraps the stack in a real-memory arena sized to the
+	// global offset span (per-instance sub-arenas over a multi router).
+	Materialize bool
+}
+
+// Stack is a built layer stack. Top serves the composed contract; the
+// typed layer pointers are nil for layers the spec did not request and
+// exist for per-layer introspection (stats, flushes, byte windows).
+type Stack struct {
+	// Top is the outermost layer; use it as the allocator.
+	Top alloc.Allocator
+	// Backend is the leaf allocator or the multi router over the leaves —
+	// the stack below any caching/tracing/materializing layers.
+	Backend alloc.Allocator
+	// Multi is the router layer (nil for single-instance stacks).
+	Multi *multi.Multi
+	// Frontend is the caching layer (nil when not Cached).
+	Frontend *frontend.Allocator
+	// Trace is the recording layer (nil when Record was nil).
+	Trace *trace.Allocator
+	// Arena is the materialized-region layer (nil when not Materialize).
+	Arena *arena.Allocator
+	// Variant is the leaf allocator label the stack was built from.
+	Variant string
+
+	scrubbable bool
+}
+
+// leafOf walks a built allocator down to its bottom-most leaf: through
+// single-inner wrappers via Unwrap, and through a router via its first
+// instance. Needed because a stack can be a layer of another stack
+// (registered composites build as leaves), and leaf-only properties like
+// scrubbability must be probed on the real leaf, not on a wrapper that
+// implements Scrub by forwarding.
+func leafOf(a alloc.Allocator) alloc.Allocator {
+	for {
+		switch v := a.(type) {
+		case interface{ Unwrap() alloc.Allocator }:
+			a = v.Unwrap()
+		case *multi.Multi:
+			a = v.Instance(0)
+		default:
+			return a
+		}
+	}
+}
+
+// Build assembles the stack described by the spec.
+func Build(s Spec) (*Stack, error) {
+	st := &Stack{Variant: s.Variant}
+	if s.Instances >= 1 {
+		m, err := multi.New(s.Variant, s.Instances, s.Per, s.Policy)
+		if err != nil {
+			return nil, err
+		}
+		st.Multi = m
+		st.Backend = m
+	} else {
+		a, err := alloc.Build(s.Variant, s.Per)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := a.(alloc.ChunkSizer); !ok {
+			return nil, fmt.Errorf("stack: leaf %s cannot report chunk sizes", a.Name())
+		}
+		st.Backend = a
+	}
+	_, st.scrubbable = leafOf(st.Backend).(alloc.Scrubber)
+
+	st.Top = st.Backend
+	if s.Cached {
+		fe, err := frontend.New(st.Top, s.Magazine)
+		if err != nil {
+			return nil, err
+		}
+		st.Frontend = fe
+		st.Top = fe
+	}
+	if s.Record != nil {
+		tr, err := trace.NewAllocator(st.Top, s.Record)
+		if err != nil {
+			return nil, err
+		}
+		st.Trace = tr
+		st.Top = tr
+	}
+	if s.Materialize {
+		ar, err := arena.Materialize(st.Top)
+		if err != nil {
+			return nil, err
+		}
+		st.Arena = ar
+		st.Top = ar
+	}
+	return st, nil
+}
+
+// CanScrub reports whether the leaf allocators support metadata
+// scrubbing (the wrapping layers always forward Scrub, and the caching
+// front-end additionally flushes its magazines on Scrub).
+func (st *Stack) CanScrub() bool { return st.scrubbable }
+
+// Scrub quiesces the whole stack — flushing front-end magazines and
+// rebuilding leaf metadata where supported — and reports whether the
+// leaves scrubbed. Quiescent points only.
+func (st *Stack) Scrub() bool {
+	if s, ok := st.Top.(alloc.Scrubber); ok {
+		s.Scrub()
+	}
+	return st.scrubbable
+}
+
+// LayerStats returns the stack's per-layer counters, top-down.
+func (st *Stack) LayerStats() []alloc.LayerStats { return alloc.StackStats(st.Top) }
+
+// registryInstances picks the instance count for a registry-built multi
+// composite: up to want instances, halved until each instance's share of
+// the global total can still serve MaxSize.
+func registryInstances(want int, cfg alloc.Config) int {
+	n := want
+	for n > 1 && cfg.Total/uint64(n) < cfg.MaxSize {
+		n /= 2
+	}
+	return n
+}
+
+// perConfig splits a global config over n instances.
+func perConfig(cfg alloc.Config, n int) alloc.Config {
+	per := cfg
+	per.Total = cfg.Total / uint64(n)
+	return per
+}
+
+func init() {
+	// Composite variants over the paper's fastest leaf. Config.Total is
+	// the global span; the multi composites split it over the instances.
+	alloc.Register("cached+4lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
+		st, err := Build(Spec{Variant: "4lvl-nb", Per: cfg, Cached: true})
+		if err != nil {
+			return nil, err
+		}
+		return st.Top, nil
+	})
+	alloc.Register("multi4+4lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
+		n := registryInstances(4, cfg)
+		st, err := Build(Spec{Variant: "4lvl-nb", Per: perConfig(cfg, n), Instances: n})
+		if err != nil {
+			return nil, err
+		}
+		return st.Top, nil
+	})
+	alloc.Register("cached+multi4+4lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
+		n := registryInstances(4, cfg)
+		st, err := Build(Spec{Variant: "4lvl-nb", Per: perConfig(cfg, n), Instances: n, Cached: true})
+		if err != nil {
+			return nil, err
+		}
+		return st.Top, nil
+	})
+}

@@ -12,8 +12,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/alloc"
+	"repro/internal/geometry"
 )
 
 // Op is one recorded operation.
@@ -39,6 +41,12 @@ type Recorder struct {
 	inner  alloc.Handle
 	worker int32
 	trace  *Trace
+	// mu, when non-nil, serializes each whole operation (inner call plus
+	// trace append, set by the allocator-level layer). Locking around the
+	// append alone would be racy in a stronger sense than data races: an
+	// op could be appended after an op that observed its effects,
+	// recording a schedule that never happened and breaking replay.
+	mu *sync.Mutex
 	// myEvents maps live offsets to the recording index of the allocation
 	// that produced them, so frees can reference allocations.
 	events map[uint64]int64
@@ -46,16 +54,23 @@ type Recorder struct {
 
 // NewRecorder wraps a handle; all Recorders appending to the same Trace
 // must do so from a single goroutine (record single-threaded schedules) or
-// the caller must provide external ordering.
+// the caller must provide external ordering. The Allocator layer below
+// provides that ordering automatically.
 func NewRecorder(t *Trace, worker int32, inner alloc.Handle) *Recorder {
 	return &Recorder{inner: inner, worker: worker, trace: t, events: map[uint64]int64{}}
 }
 
 // Alloc records and forwards an allocation.
 func (r *Recorder) Alloc(size uint64) (uint64, bool) {
+	if r.mu != nil {
+		r.mu.Lock()
+	}
 	off, ok := r.inner.Alloc(size)
 	idx := int64(len(r.trace.Ops))
 	r.trace.Ops = append(r.trace.Ops, Op{Worker: r.worker, Size: size, Ref: -1, OK: ok})
+	if r.mu != nil {
+		r.mu.Unlock()
+	}
 	if ok {
 		r.events[off] = idx
 	}
@@ -69,12 +84,106 @@ func (r *Recorder) Free(offset uint64) {
 		panic(fmt.Sprintf("trace: Free(%#x) of an offset this recorder did not allocate", offset))
 	}
 	delete(r.events, offset)
+	if r.mu != nil {
+		r.mu.Lock()
+	}
 	r.inner.Free(offset)
 	r.trace.Ops = append(r.trace.Ops, Op{Worker: r.worker, Ref: ref})
+	if r.mu != nil {
+		r.mu.Unlock()
+	}
 }
 
 // Stats forwards to the wrapped handle.
 func (r *Recorder) Stats() *alloc.Stats { return r.inner.Stats() }
+
+// Allocator is the trace-recording layer of a composable stack: every
+// handle it creates is a Recorder appending to one shared Trace. Each
+// recorded operation is serialized whole (inner call plus append), so
+// the trace is a valid linearization that replays faithfully — the cost
+// is that recording removes the concurrency it observes, the classic
+// tracing trade-off; use it for debugging schedules, not benchmarking.
+// The convenience Alloc/Free pass through unrecorded (they are not a
+// worker schedule). It forwards the whole layer contract, so recording
+// can be slipped between any two layers of a stack.
+type Allocator struct {
+	inner alloc.Allocator
+	sizer alloc.ChunkSizer
+	trace *Trace
+
+	mu      sync.Mutex
+	workers int32
+}
+
+// NewAllocator wraps a stack so every handle records into t.
+func NewAllocator(inner alloc.Allocator, t *Trace) (*Allocator, error) {
+	sizer, ok := inner.(alloc.ChunkSizer)
+	if !ok {
+		return nil, fmt.Errorf("trace: %s cannot report chunk sizes", inner.Name())
+	}
+	return &Allocator{inner: inner, sizer: sizer, trace: t}, nil
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string { return "trace+" + a.inner.Name() }
+
+// Geometry implements alloc.Allocator.
+func (a *Allocator) Geometry() geometry.Geometry { return a.inner.Geometry() }
+
+// OffsetSpan implements alloc.Spanner (pass-through).
+func (a *Allocator) OffsetSpan() uint64 { return alloc.SpanOf(a.inner) }
+
+// Unwrap exposes the wrapped stack to generic stack walkers.
+func (a *Allocator) Unwrap() alloc.Allocator { return a.inner }
+
+// Trace exposes the shared trace; read it at quiescent points.
+func (a *Allocator) Trace() *Trace { return a.trace }
+
+// Alloc implements alloc.Allocator (pass-through, unrecorded).
+func (a *Allocator) Alloc(size uint64) (uint64, bool) { return a.inner.Alloc(size) }
+
+// Free implements alloc.Allocator (pass-through, unrecorded).
+func (a *Allocator) Free(offset uint64) { a.inner.Free(offset) }
+
+// ChunkSize implements alloc.ChunkSizer (pass-through).
+func (a *Allocator) ChunkSize(offset uint64) uint64 { return a.sizer.ChunkSize(offset) }
+
+// Scrub implements alloc.Scrubber (pass-through).
+func (a *Allocator) Scrub() {
+	if s, ok := a.inner.(alloc.Scrubber); ok {
+		s.Scrub()
+	}
+}
+
+// Stats implements alloc.Allocator (pass-through).
+func (a *Allocator) Stats() alloc.Stats { return a.inner.Stats() }
+
+// LayerStats implements alloc.LayerStatser: the recorder contributes its
+// op volume, then the wrapped stack's entries.
+func (a *Allocator) LayerStats() []alloc.LayerStats {
+	a.mu.Lock()
+	entry := alloc.LayerStats{
+		Layer: "trace",
+		Extra: map[string]uint64{
+			"ops":     uint64(len(a.trace.Ops)),
+			"workers": uint64(a.workers),
+		},
+	}
+	a.mu.Unlock()
+	return append([]alloc.LayerStats{entry}, alloc.StackStats(a.inner)...)
+}
+
+// NewHandle implements alloc.Allocator: a recording handle over an inner
+// handle, with trace appends serialized across handles.
+func (a *Allocator) NewHandle() alloc.Handle {
+	a.mu.Lock()
+	worker := a.workers
+	a.workers++
+	a.mu.Unlock()
+	r := NewRecorder(a.trace, worker, a.inner.NewHandle())
+	r.mu = &a.mu
+	return r
+}
 
 // Replay re-executes a trace against a fresh allocator, returning how many
 // allocations succeeded. Frees of allocations that failed on replay are

@@ -3,6 +3,7 @@ package trace_test
 import (
 	"bytes"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/alloc"
@@ -122,4 +123,74 @@ func TestRecorderForeignFreePanics(t *testing.T) {
 		}
 	}()
 	r.Free(128)
+}
+
+// TestAllocatorLayerConcurrentRecording drives the allocator-level trace
+// layer from several goroutines: appends must serialize safely and the
+// recorded schedule must replay cleanly on a fresh instance.
+func TestAllocatorLayerConcurrentRecording(t *testing.T) {
+	tr := &trace.Trace{}
+	layer, err := trace.NewAllocator(build(t, "1lvl-nb"), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layer.Name() != "trace+1lvl-nb" {
+		t.Fatalf("Name = %q", layer.Name())
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := layer.NewHandle()
+			var live []uint64
+			for i := 0; i < 1000; i++ {
+				if off, ok := h.Alloc(64 << (i % 3)); ok {
+					live = append(live, off)
+				}
+				if len(live) > 8 {
+					h.Free(live[0])
+					live = live[1:]
+				}
+			}
+			for _, off := range live {
+				h.Free(off)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(tr.Ops) == 0 {
+		t.Fatal("nothing recorded")
+	}
+	if _, err := trace.Replay(tr, build(t, "1lvl-nb")); err != nil {
+		t.Fatalf("replay of concurrently recorded trace: %v", err)
+	}
+	workers := map[int32]bool{}
+	for _, op := range tr.Ops {
+		workers[op.Worker] = true
+	}
+	if len(workers) != 4 {
+		t.Fatalf("trace names %d workers, want 4", len(workers))
+	}
+}
+
+// TestAllocatorLayerForwardsContract checks the layer keeps the
+// composable contract intact (ChunkSize, unrecorded convenience ops).
+func TestAllocatorLayerForwardsContract(t *testing.T) {
+	tr := &trace.Trace{}
+	layer, err := trace.NewAllocator(build(t, "4lvl-nb"), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, ok := layer.Alloc(100)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if got := layer.ChunkSize(off); got != 128 {
+		t.Fatalf("ChunkSize = %d, want 128", got)
+	}
+	layer.Free(off)
+	if len(tr.Ops) != 0 {
+		t.Fatalf("convenience path recorded %d ops, want 0", len(tr.Ops))
+	}
 }

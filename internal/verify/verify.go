@@ -111,17 +111,18 @@ type Allocator struct {
 	chk   *Checker
 }
 
-// Wrap attaches a fresh checker to an allocator.
+// Wrap attaches a fresh checker to an allocator. The checker covers the
+// allocator's global offset space, which for composed stacks (a
+// multi-instance router) is wider than the per-instance geometry.
 func Wrap(inner alloc.Allocator) (*Allocator, error) {
 	sizer, ok := inner.(alloc.ChunkSizer)
 	if !ok {
 		return nil, fmt.Errorf("verify: %s cannot report chunk sizes", inner.Name())
 	}
-	geo := inner.Geometry()
 	return &Allocator{
 		inner: inner,
 		sizer: sizer,
-		chk:   NewChecker(geo.Total, geo.MinSize),
+		chk:   NewChecker(alloc.SpanOf(inner), inner.Geometry().MinSize),
 	}, nil
 }
 

@@ -20,33 +20,44 @@
 //
 // The allocator trades in offsets relative to the managed region, which
 // makes it a back-end in the paper's terminology: it can manage memory it
-// does not own (a file, a shared segment, device memory). Pass
-// WithMaterializedRegion to also reserve real bytes and use AllocBytes to
-// receive the offset's window as a slice.
+// does not own (a file, a shared segment, device memory).
 //
-//	b, err := nbbs.New(nbbs.Config{Total: 1 << 26, MinSize: 64, MaxSize: 1 << 20},
-//	    nbbs.WithMaterializedRegion())
+// A Buddy is really a layer stack (see DESIGN.md): the leaf allocator can
+// be wrapped by any combination of composable layers, selected by
+// options — WithInstances adds the multi-instance (NUMA-style) router,
+// WithFrontend adds per-worker caching magazines, WithTrace records the
+// operation stream, and WithMaterializedRegion backs the offset space
+// with real bytes so AllocBytes can hand out slices. The layers compose
+// freely, including the full production deployment the paper's
+// conclusions describe:
+//
+//	b, err := nbbs.New(nbbs.Config{Total: 1 << 24, MinSize: 64, MaxSize: 1 << 18},
+//	    nbbs.WithInstances(4),            // one back-end per NUMA node
+//	    nbbs.WithFrontend(32),            // per-worker magazines
+//	    nbbs.WithMaterializedRegion())    // real memory behind the offsets
 //	...
-//	h := b.NewHandle() // one per worker goroutine
+//	h := b.NewHandle() // one per worker goroutine; caching when WithFrontend
 //	off, ok := h.Alloc(4096)
 //	...
 //	h.Free(off)
 //
 // Handles are the intended hot-path interface: they carry the per-worker
-// scan scatter state and private statistics. The Buddy's own Alloc/Free
-// are convenience wrappers safe for occasional use from any goroutine.
+// scan scatter state (and magazines, when cached) plus private
+// statistics. The Buddy's own Alloc/Free are convenience wrappers safe
+// for occasional use from any goroutine.
 package nbbs
 
 import (
 	"fmt"
 
 	"repro/internal/alloc"
-	"repro/internal/arena"
 	"repro/internal/frontend"
 	"repro/internal/geometry"
 	"repro/internal/multi"
+	"repro/internal/stack"
+	"repro/internal/trace"
 
-	// Register all allocator variants.
+	// Register all allocator variants and composed stacks.
 	_ "repro/internal/bunch"
 	_ "repro/internal/cloudwu"
 	_ "repro/internal/core"
@@ -76,13 +87,15 @@ const (
 	VariantLinuxStyle Variant = "linux-buddy"
 )
 
-// Variants lists every registered allocator label.
+// Variants lists every registered allocator label, composed stacks
+// included (e.g. "cached+multi4+4lvl-nb").
 func Variants() []string { return alloc.Names() }
 
 // Config sizes a buddy instance. All three values must be powers of two,
-// with MinSize <= MaxSize <= Total.
+// with MinSize <= MaxSize <= Total. With WithInstances(n), Config sizes
+// each instance; the global offset space is n times Total.
 type Config struct {
-	// Total is the managed region size in bytes.
+	// Total is the managed region size in bytes (per instance).
 	Total uint64
 	// MinSize is the allocation unit; requests round up to it.
 	MinSize uint64
@@ -95,16 +108,26 @@ type Config struct {
 // RMW/CASFail/Retries relate to the algorithm.
 type Stats = alloc.Stats
 
+// LayerStats is one layer's contribution to a stack's counters; see
+// Buddy.LayerStats.
+type LayerStats = alloc.LayerStats
+
+// CacheStats counts front-end magazine behaviour; see CachedHandle.
+type CacheStats = frontend.CacheStats
+
+// Trace is a recorded operation stream; pass one to WithTrace to record
+// every handle's operations for deterministic replay (internal/trace).
+type Trace = trace.Trace
+
 // Handle is a per-worker allocation interface; obtain one per goroutine
 // from Buddy.NewHandle. It is not safe for concurrent use.
 type Handle = alloc.Handle
 
-// Buddy is a buddy-system instance of some variant, optionally backed by
-// a real memory region.
+// Buddy is a buddy-system allocator stack: a leaf variant, optionally
+// wrapped by the multi-instance router, the caching front-end, the trace
+// recorder and the materialized arena.
 type Buddy struct {
-	impl    alloc.Allocator
-	region  *arena.Arena
-	variant Variant
+	st *stack.Stack
 }
 
 // Option configures New.
@@ -112,111 +135,179 @@ type Option func(*options)
 
 type options struct {
 	variant     Variant
+	instances   int
+	policy      multi.Policy
+	cached      bool
+	magazine    int
+	record      *trace.Trace
 	materialize bool
 }
 
 // WithVariant selects the allocator implementation (default Variant4Lvl).
+// Registered composite stacks are accepted too.
 func WithVariant(v Variant) Option { return func(o *options) { o.variant = v } }
 
+// WithInstances deploys n independent same-geometry back-ends behind one
+// offset space with round-robin handle routing and fallback — the
+// multi-instance (NUMA-style) deployment of the paper's related work.
+func WithInstances(n int) Option { return func(o *options) { o.instances = n } }
+
+// WithFrontend layers per-worker caching magazines over the back-end:
+// every NewHandle becomes a caching handle with the given per-size-class
+// magazine capacity (0 = default). Frees park chunks in magazines served
+// back to later allocations, so most operations never reach the
+// back-end.
+func WithFrontend(magazine int) Option {
+	return func(o *options) { o.cached = true; o.magazine = magazine }
+}
+
+// WithTrace records every handle operation into t for deterministic
+// replay and regression debugging.
+func WithTrace(t *Trace) Option { return func(o *options) { o.record = t } }
+
 // WithMaterializedRegion backs the managed region with real memory so
-// AllocBytes/Bytes can hand out slices.
+// AllocBytes/Bytes can hand out slices. Composes with WithInstances: the
+// arena keeps one sub-region per instance behind the global offset space.
 func WithMaterializedRegion() Option { return func(o *options) { o.materialize = true } }
 
-// New builds a buddy instance.
+func build(cfg Config, o options) (*Buddy, error) {
+	st, err := stack.Build(stack.Spec{
+		Variant:     o.variant,
+		Per:         alloc.Config{Total: cfg.Total, MinSize: cfg.MinSize, MaxSize: cfg.MaxSize},
+		Instances:   o.instances,
+		Policy:      o.policy,
+		Cached:      o.cached,
+		Magazine:    o.magazine,
+		Record:      o.record,
+		Materialize: o.materialize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Buddy{st: st}, nil
+}
+
+// New builds a buddy allocator stack.
 func New(cfg Config, opts ...Option) (*Buddy, error) {
 	o := options{variant: Variant4Lvl}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	impl, err := alloc.Build(o.variant, alloc.Config{Total: cfg.Total, MinSize: cfg.MinSize, MaxSize: cfg.MaxSize})
-	if err != nil {
-		return nil, err
-	}
-	return &Buddy{
-		impl:    impl,
-		region:  arena.New(cfg.Total, o.materialize),
-		variant: o.variant,
-	}, nil
+	return build(cfg, o)
 }
 
-// Variant returns the implementation label of this instance.
-func (b *Buddy) Variant() Variant { return b.variant }
+// Name returns the composed stack label, e.g. "cached+multi[4x 4lvl-nb]".
+func (b *Buddy) Name() string { return b.st.Top.Name() }
 
-// Total returns the managed region size in bytes.
-func (b *Buddy) Total() uint64 { return b.impl.Geometry().Total }
+// Variant returns the leaf implementation label of this instance.
+func (b *Buddy) Variant() Variant { return b.st.Variant }
+
+// Total returns the global offset-space size in bytes: the managed
+// region, times the instance count under WithInstances.
+func (b *Buddy) Total() uint64 { return alloc.SpanOf(b.st.Top) }
 
 // MinSize returns the allocation unit.
-func (b *Buddy) MinSize() uint64 { return b.impl.Geometry().MinSize }
+func (b *Buddy) MinSize() uint64 { return b.st.Top.Geometry().MinSize }
 
 // MaxSize returns the largest single allocation.
-func (b *Buddy) MaxSize() uint64 { return b.impl.Geometry().MaxSize }
+func (b *Buddy) MaxSize() uint64 { return b.st.Top.Geometry().MaxSize }
+
+// Instances returns the number of composed back-end instances (1 unless
+// built WithInstances).
+func (b *Buddy) Instances() int {
+	if b.st.Multi == nil {
+		return 1
+	}
+	return b.st.Multi.Instances()
+}
+
+// InstanceOf returns which back-end instance serves an offset.
+func (b *Buddy) InstanceOf(offset uint64) int {
+	if b.st.Multi == nil {
+		return 0
+	}
+	return b.st.Multi.InstanceOf(offset)
+}
 
 // Alloc reserves a chunk of at least size bytes and returns its offset
 // within the managed region; ok is false when the instance cannot serve
 // the request. Offset 0 is a valid allocation.
-func (b *Buddy) Alloc(size uint64) (offset uint64, ok bool) { return b.impl.Alloc(size) }
+func (b *Buddy) Alloc(size uint64) (offset uint64, ok bool) { return b.st.Top.Alloc(size) }
 
 // Free releases a previously allocated chunk by its offset. Freeing an
 // offset that is not currently allocated panics.
-func (b *Buddy) Free(offset uint64) { b.impl.Free(offset) }
+func (b *Buddy) Free(offset uint64) { b.st.Top.Free(offset) }
 
 // NewHandle returns a per-worker handle; use one handle per goroutine on
-// hot paths.
-func (b *Buddy) NewHandle() Handle { return b.impl.NewHandle() }
+// hot paths. With WithFrontend the handle caches in per-size-class
+// magazines.
+func (b *Buddy) NewHandle() Handle { return b.st.Top.NewHandle() }
 
-// Stats aggregates operation counters across all handles; call it at
-// quiescent points (not concurrently with operations).
-func (b *Buddy) Stats() Stats { return b.impl.Stats() }
+// Stats aggregates operation counters across all handles at the top
+// layer of the stack; call it at quiescent points (not concurrently with
+// operations).
+func (b *Buddy) Stats() Stats { return b.st.Top.Stats() }
+
+// LayerStats returns per-layer counters top-down — front-end magazine
+// hits and spills, router fallbacks, back-end RMW/CAS traffic — so each
+// layer's contribution is visible separately. Quiescent points only.
+func (b *Buddy) LayerStats() []LayerStats { return b.st.LayerStats() }
 
 // ChunkSize reports the reserved (rounded-up) size of a live allocation.
 func (b *Buddy) ChunkSize(offset uint64) uint64 {
-	return b.impl.(alloc.ChunkSizer).ChunkSize(offset)
+	return b.st.Top.(alloc.ChunkSizer).ChunkSize(offset)
 }
 
 // Materialized reports whether the region is backed by real memory.
-func (b *Buddy) Materialized() bool { return b.region.Materialized() }
+func (b *Buddy) Materialized() bool { return b.st.Arena != nil }
 
 // Bytes returns the memory window of a live allocation as a slice; the
 // instance must have been built WithMaterializedRegion. The slice is valid
 // until the chunk is freed.
 func (b *Buddy) Bytes(offset uint64) []byte {
-	return b.region.Bytes(offset, b.ChunkSize(offset))
+	if b.st.Arena == nil {
+		panic("nbbs: Bytes on a stack without WithMaterializedRegion")
+	}
+	return b.st.Arena.Bytes(offset)
 }
 
 // AllocBytes combines Alloc and Bytes: it reserves at least size bytes and
 // returns the chunk's window. The returned offset is the Free token.
 func (b *Buddy) AllocBytes(size uint64) (buf []byte, offset uint64, ok bool) {
-	off, ok := b.Alloc(size)
-	if !ok {
-		return nil, 0, false
+	if b.st.Arena == nil {
+		panic("nbbs: AllocBytes on a stack without WithMaterializedRegion")
 	}
-	return b.region.Bytes(off, b.ChunkSize(off)), off, true
+	return b.st.Arena.AllocBytes(size)
 }
 
-// Scrubber is implemented by the non-blocking variants: Scrub rebuilds the
-// metadata from the live-allocation index at a quiescent point, shedding
-// the conservative residue racing releases may strand (see DESIGN.md).
-type Scrubber interface{ Scrub() }
+// Scrubber is implemented by the non-blocking variants and every stack
+// layer: Scrub rebuilds the metadata from the live-allocation index at a
+// quiescent point, shedding the conservative residue racing releases may
+// strand, and layers forward it inward — the caching front-end flushes
+// its magazines first (see DESIGN.md).
+type Scrubber = alloc.Scrubber
 
-// Scrub sheds conservative metadata residue on a quiescent instance; it
-// reports whether the variant supports scrubbing.
-func (b *Buddy) Scrub() bool {
-	if s, ok := b.impl.(Scrubber); ok {
-		s.Scrub()
-		return true
-	}
-	return false
-}
+// Scrub quiesces the stack — flushing front-end magazines and scrubbing
+// leaf metadata — and reports whether the leaf variant supports
+// scrubbing.
+func (b *Buddy) Scrub() bool { return b.st.Scrub() }
 
-// Backend exposes the underlying allocator for composition with the
-// advanced wrappers below.
+// Backend exposes the allocator below the caching/tracing/materializing
+// layers — the leaf instance, or the multi-instance router — for
+// composition and back-end-level statistics.
 func (b *Buddy) Backend() interface {
 	Name() string
 	Alloc(uint64) (uint64, bool)
 	Free(uint64)
 } {
-	return b.impl
+	return b.st.Backend
 }
+
+// Multi exposes the multi-instance router layer (nil unless built
+// WithInstances). Router-level handles — including NewHandleOn for
+// explicit NUMA-style pinning — bypass any caching or tracing layers
+// stacked above it.
+func (b *Buddy) Multi() *Multi { return b.st.Multi }
 
 // CachedHandle is a per-worker handle with magazine caching in front of
 // the instance (the paper's front-end/back-end composition). Frees park
@@ -226,12 +317,19 @@ type CachedHandle struct {
 	*frontend.Handle
 }
 
-// NewCachedHandle layers a caching front-end handle over the instance.
-// magazine is the per-size-class capacity (0 = default).
+// NewCachedHandle returns a caching front-end handle over the stack.
+// magazine is the per-size-class capacity (0 = default). On a stack
+// built WithFrontend the handle comes from the stack's own front-end
+// layer and magazine is ignored; otherwise a private front-end is
+// layered over the stack top for this handle.
 func (b *Buddy) NewCachedHandle(magazine int) (*CachedHandle, error) {
-	fe, err := frontend.New(b.impl, magazine)
-	if err != nil {
-		return nil, err
+	fe := b.st.Frontend
+	if fe == nil {
+		var err error
+		fe, err = frontend.New(b.st.Top, magazine)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &CachedHandle{fe.NewHandle().(*frontend.Handle)}, nil
 }
@@ -243,25 +341,26 @@ type MultiConfig struct {
 	Per       Config
 }
 
-// Multi is a set of same-geometry instances behind one offset space, with
-// per-handle preferred-instance routing and fallback — the multi-instance
-// deployment the paper describes for NUMA machines.
+// Multi is the multi-instance router layer: a set of same-geometry
+// instances behind one offset space, with per-handle preferred-instance
+// routing and fallback — the deployment the paper describes for NUMA
+// machines.
 type Multi = multi.Multi
 
-// NewMulti builds a multi-instance allocator of the given variant.
-func NewMulti(cfg MultiConfig, opts ...Option) (*Multi, error) {
+// NewMulti builds a multi-instance allocator stack of the given variant.
+// All stack options compose — including WithMaterializedRegion, which
+// keeps one sub-region per instance behind the global offset space, and
+// WithFrontend for per-worker magazines over the router.
+func NewMulti(cfg MultiConfig, opts ...Option) (*Buddy, error) {
 	o := options{variant: Variant4Lvl}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	if o.materialize {
-		return nil, fmt.Errorf("nbbs: materialized regions are not supported on multi-instance allocators")
+	if cfg.Instances < 1 {
+		return nil, fmt.Errorf("nbbs: instance count %d must be positive", cfg.Instances)
 	}
-	return multi.New(o.variant, cfg.Instances, alloc.Config{
-		Total:   cfg.Per.Total,
-		MinSize: cfg.Per.MinSize,
-		MaxSize: cfg.Per.MaxSize,
-	}, multi.RoundRobin)
+	o.instances = cfg.Instances
+	return build(cfg.Per, o)
 }
 
 // Geometry describes the derived tree shape of a configuration without

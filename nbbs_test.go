@@ -182,6 +182,9 @@ func TestMulti(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if m.Instances() != 3 || m.Total() != 3*cfg.Total {
+		t.Fatalf("Instances/Total = %d/%d", m.Instances(), m.Total())
+	}
 	h := m.NewHandle()
 	off, ok := h.Alloc(4096)
 	if !ok {
@@ -190,9 +193,144 @@ func TestMulti(t *testing.T) {
 	if inst := m.InstanceOf(off); inst < 0 || inst > 2 {
 		t.Fatalf("InstanceOf = %d", inst)
 	}
+	if got := m.ChunkSize(off); got != 4096 {
+		t.Fatalf("ChunkSize through the router = %d, want 4096", got)
+	}
 	h.Free(off)
-	if _, err := nbbs.NewMulti(nbbs.MultiConfig{Instances: 2, Per: cfg}, nbbs.WithMaterializedRegion()); err == nil {
-		t.Error("materialized multi accepted")
+	pinned := m.Multi().NewHandleOn(2)
+	off2, ok := pinned.Alloc(64)
+	if !ok || m.InstanceOf(off2) != 2 {
+		t.Fatalf("pinned handle landed on instance %d", m.InstanceOf(off2))
+	}
+	pinned.Free(off2)
+}
+
+// TestMaterializedMulti exercises the formerly-rejected composition:
+// materialized regions over a multi-instance router.
+func TestMaterializedMulti(t *testing.T) {
+	m, err := nbbs.NewMulti(nbbs.MultiConfig{Instances: 2, Per: cfg}, nbbs.WithMaterializedRegion())
+	if err != nil {
+		t.Fatalf("materialized multi rejected: %v", err)
+	}
+	if !m.Materialized() {
+		t.Fatal("not materialized")
+	}
+	// Pin a handle to instance 1 so the global offset exceeds the
+	// per-instance span, proving Bytes routes across sub-arenas.
+	h := m.Multi().NewHandleOn(1)
+	off, ok := h.Alloc(128)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if off < cfg.Total {
+		t.Fatalf("pinned alloc offset %d inside instance 0's window", off)
+	}
+	buf := m.Bytes(off)
+	if len(buf) != 128 {
+		t.Fatalf("window = %d bytes, want 128", len(buf))
+	}
+	buf[0], buf[127] = 0xEE, 0xFF
+	again := m.Bytes(off)
+	if again[0] != 0xEE || again[127] != 0xFF {
+		t.Fatal("window does not alias the sub-arena")
+	}
+	h.Free(off)
+}
+
+// TestComposedStackEndToEnd drives the full production composition the
+// paper's conclusions call for: caching front-end + 4-instance router +
+// materialized region, end to end through AllocBytes.
+func TestComposedStackEndToEnd(t *testing.T) {
+	b, err := nbbs.New(cfg,
+		nbbs.WithInstances(4),
+		nbbs.WithFrontend(8),
+		nbbs.WithMaterializedRegion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "mat+cached+multi[4x 4lvl-nb]" {
+		t.Fatalf("Name = %q", b.Name())
+	}
+	if b.Total() != 4*cfg.Total {
+		t.Fatalf("Total = %d, want global span %d", b.Total(), 4*cfg.Total)
+	}
+	buf, off, ok := b.AllocBytes(100)
+	if !ok {
+		t.Fatal("AllocBytes through the stack failed")
+	}
+	if len(buf) != 128 {
+		t.Fatalf("window = %d bytes, want 128", len(buf))
+	}
+	buf[0] = 0xAB
+	if b.Bytes(off)[0] != 0xAB {
+		t.Fatal("window does not alias the arena")
+	}
+	b.Free(off)
+
+	// Concurrent caching handles through the full stack.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := b.NewHandle()
+			for i := 0; i < 3000; i++ {
+				if off, ok := h.Alloc(256); ok {
+					b.Bytes(off)[0] = 1
+					h.Free(off)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if !b.Scrub() { // flush magazines, scrub leaves
+		t.Fatal("non-blocking leaves should scrub")
+	}
+	layers := b.LayerStats()
+	if len(layers) != 4 { // mat, cached, multi, leaf fleet
+		t.Fatalf("LayerStats = %d entries, want 4", len(layers))
+	}
+	if layers[0].Layer != "mat" || layers[1].Layer != "cached" {
+		t.Fatalf("layer order = %q, %q", layers[0].Layer, layers[1].Layer)
+	}
+	front := layers[1].Stats
+	if front.Allocs == 0 || front.Allocs != front.Frees {
+		t.Fatalf("front-end layer stats = %d allocs / %d frees", front.Allocs, front.Frees)
+	}
+	if layers[1].Extra["hits"] == 0 {
+		t.Fatal("magazines absorbed no traffic")
+	}
+	// After Scrub flushed the magazines, the back-end must balance too.
+	back := layers[3].Stats
+	if back.Allocs != back.Frees {
+		t.Fatalf("back-end leaked: %d allocs vs %d frees", back.Allocs, back.Frees)
+	}
+}
+
+// TestTraceLayer records every handle operation through a composed stack
+// (replay itself is covered by the trace package's own tests).
+func TestTraceLayer(t *testing.T) {
+	var tr nbbs.Trace
+	b, err := nbbs.New(cfg, nbbs.WithTrace(&tr), nbbs.WithFrontend(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := b.NewHandle()
+	var live []uint64
+	for i := 0; i < 100; i++ {
+		if off, ok := h.Alloc(64 << (i % 3)); ok {
+			live = append(live, off)
+		}
+		if len(live) > 4 {
+			h.Free(live[0])
+			live = live[1:]
+		}
+	}
+	for _, off := range live {
+		h.Free(off)
+	}
+	if len(tr.Ops) != 200 {
+		t.Fatalf("trace recorded %d ops, want 200", len(tr.Ops))
 	}
 }
 
