@@ -441,7 +441,10 @@ func BenchmarkAblationFrontend(b *testing.B) {
 // cached+multi production composition the paper's conclusions call for.
 func BenchmarkStackCachedMulti(b *testing.B) {
 	const slots = 2048
-	stacks := []string{"4lvl-nb", "multi4+4lvl-nb", "cached+4lvl-nb", "cached+multi4+4lvl-nb"}
+	stacks := []string{
+		"4lvl-nb", "multi4+4lvl-nb", "cached+4lvl-nb", "cached+multi4+4lvl-nb",
+		"depot+4lvl-nb", "depot+multi4+4lvl-nb",
+	}
 	for _, variant := range stacks {
 		for _, threads := range benchThreads() {
 			b.Run(fmt.Sprintf("%s/threads=%d", variant, threads), func(b *testing.B) {

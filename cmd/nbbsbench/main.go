@@ -11,6 +11,8 @@
 //	nbbsbench -workload larson -alloc 4lvl-nb,buddy-sl -csv
 //	nbbsbench -workload larson -alloc 4lvl-nb,cached+multi4+4lvl-nb -threads 8
 //	nbbsbench -workload constant-occupancy -scale 1 -reps 3   # paper volume
+//	nbbsbench -workload remote-free -alloc cached+multi4+4lvl-nb,depot+multi4+4lvl-nb \
+//	    -json -label pr2 > BENCH_pr2.json
 package main
 
 import (
@@ -33,7 +35,7 @@ import (
 
 func main() {
 	var (
-		workloadName = flag.String("workload", "linux-scalability", "workload: linux-scalability | thread-test | larson | constant-occupancy")
+		workloadName = flag.String("workload", "linux-scalability", "comma-separated workloads: linux-scalability | thread-test | larson | constant-occupancy | remote-free")
 		allocators   = flag.String("alloc", strings.Join(harness.AllocatorsUserSpace, ","), "comma-separated allocator variants")
 		threads      = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
 		sizes        = flag.String("sizes", "8,128,1024", "comma-separated request sizes in bytes")
@@ -45,14 +47,19 @@ func main() {
 		seed         = flag.Int64("seed", 1, "workload RNG seed")
 		lockKind     = flag.String("lock", "", "spin-lock flavor for blocking variants: tas | ttas | ticket")
 		csv          = flag.Bool("csv", false, "emit CSV instead of tables")
+		jsonOut      = flag.Bool("json", false, "emit the machine-readable JSON report (BENCH trajectory format)")
+		label        = flag.String("label", "", "label recorded in the JSON report (e.g. pr2)")
 		kops         = flag.Bool("kops", false, "report KOps/s instead of seconds")
 		quiet        = flag.Bool("q", false, "suppress per-cell progress lines")
 	)
 	flag.Parse()
 
-	if _, ok := workload.Drivers[*workloadName]; !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q; valid: linux-scalability, thread-test, larson, constant-occupancy\n", *workloadName)
-		os.Exit(2)
+	workloads := strings.Split(*workloadName, ",")
+	for _, w := range workloads {
+		if _, ok := workload.Drivers[w]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %q; valid: linux-scalability, thread-test, larson, constant-occupancy, remote-free\n", w)
+			os.Exit(2)
+		}
 	}
 	threadList, err := harness.ParseThreads(*threads)
 	if err != nil {
@@ -63,7 +70,6 @@ func main() {
 		fatal(err)
 	}
 	sweep := harness.Sweep{
-		Workload:   *workloadName,
 		Allocators: strings.Split(*allocators, ","),
 		Threads:    threadList,
 		Sizes:      sizeList,
@@ -76,21 +82,40 @@ func main() {
 	if *quiet {
 		progress = nil
 	}
-	cells, err := sweep.Run(progress)
-	if err != nil {
-		fatal(err)
+	var cells []harness.Cell
+	for _, w := range workloads {
+		sweep.Workload = w
+		ws, err := sweep.Run(progress)
+		if err != nil {
+			fatal(err)
+		}
+		cells = append(cells, ws...)
+	}
+	if *jsonOut {
+		if err := harness.JSON(os.Stdout, *label, cells); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if *csv {
 		harness.CSV(os.Stdout, cells)
 		return
 	}
-	metric := harness.MetricSeconds
-	if *kops || *workloadName == "larson" {
-		metric = harness.MetricKOps
-	}
-	for _, size := range sizeList {
-		harness.Table(os.Stdout, fmt.Sprintf("%s - Bytes=%d", *workloadName, size), cells, size, sweep.Allocators, metric)
-		fmt.Println()
+	for _, w := range workloads {
+		metric := harness.MetricSeconds
+		if *kops || w == "larson" || w == "remote-free" {
+			metric = harness.MetricKOps
+		}
+		var sub []harness.Cell
+		for _, c := range cells {
+			if c.Workload == w {
+				sub = append(sub, c)
+			}
+		}
+		for _, size := range sizeList {
+			harness.Table(os.Stdout, fmt.Sprintf("%s - Bytes=%d", w, size), sub, size, sweep.Allocators, metric)
+			fmt.Println()
+		}
 	}
 }
 

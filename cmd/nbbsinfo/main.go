@@ -14,6 +14,7 @@
 //	nbbsinfo -total 67108864 -min 8 -max 16384
 //	nbbsinfo -total 16777216 -min 64 -max 65536 \
 //	    -instances 4 -cached -materialize -demo-ops 200000
+//	nbbsinfo -instances 4 -depot -demo-ops 200000   # depot_* layer counters
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 		instances   = flag.Int("instances", 1, "back-end instances (multi-instance router layer)")
 		cached      = flag.Bool("cached", false, "layer the caching front-end over the back-end")
 		magazine    = flag.Int("magazine", 0, "front-end per-class magazine capacity (0 = default)")
+		depot       = flag.Bool("depot", false, "attach the shared magazine depot to the front-end (implies -cached)")
 		materialize = flag.Bool("materialize", false, "back the offset space with real memory")
 		demoOps     = flag.Int("demo-ops", 0, "drive this many ops through the stack and report per-layer stats")
 		workers     = flag.Int("workers", 8, "worker goroutines for -demo-ops")
@@ -96,6 +98,7 @@ func main() {
 			instances:   *instances,
 			cached:      *cached,
 			magazine:    *magazine,
+			depot:       *depot,
 			materialize: *materialize,
 			ops:         *demoOps,
 			workers:     *workers,
@@ -109,6 +112,7 @@ type stackConfig struct {
 	instances   int
 	cached      bool
 	magazine    int
+	depot       bool
 	materialize bool
 	ops         int
 	workers     int
@@ -123,6 +127,9 @@ func demo(sc stackConfig) {
 	}
 	if sc.cached {
 		opts = append(opts, nbbs.WithFrontend(sc.magazine))
+	}
+	if sc.depot {
+		opts = append(opts, nbbs.WithDepot(0))
 	}
 	if sc.materialize {
 		opts = append(opts, nbbs.WithMaterializedRegion())

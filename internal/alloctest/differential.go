@@ -1,0 +1,146 @@
+package alloctest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+)
+
+// RunDifferential drives a long random operation sequence — single and
+// batched allocations, single and batched frees, quiescent Scrubs —
+// against a map-based oracle, and fails on any divergence:
+//
+//   - no double-hand-out: a delivered chunk never overlaps a live one
+//     (checked unit-by-unit against the oracle's occupancy map);
+//   - correct ChunkSize: every live offset reports exactly the reserved
+//     size of its class, at every step including right after a Scrub;
+//   - stats reconciliation: after draining and scrubbing, every layer of
+//     the stack reports as many frees as allocations.
+//
+// Operations are driven through a per-worker handle (so front-end
+// magazines and the depot engage) and through the allocator's batched
+// convenience contract, exercising both faces of every layer.
+func RunDifferential(t *testing.T, build Builder) {
+	t.Helper()
+	const total, minSize, maxSize = 1 << 16, 8, 1 << 12
+	for _, seed := range []int64{1, 7, 42} {
+		a := build(t, total, minSize, maxSize)
+		differentialSequence(t, a, seed, total, minSize)
+	}
+}
+
+// oracleChunk is the oracle's record of one delivered chunk.
+type oracleChunk struct {
+	off      uint64
+	reserved uint64
+}
+
+func differentialSequence(t *testing.T, a alloc.Allocator, seed int64, total, minSize uint64) {
+	t.Helper()
+	geo := a.Geometry()
+	span := alloc.SpanOf(a)
+	rng := rand.New(rand.NewSource(seed))
+	h := a.NewHandle()
+
+	var live []oracleChunk
+	occupied := map[uint64]bool{} // allocation-unit slot -> taken
+
+	admit := func(step int, off, size uint64, how string) {
+		reserved := geo.SizeOfLevel(geo.LevelForSize(size))
+		if off%reserved != 0 || off+reserved > span {
+			t.Fatalf("seed %d step %d: %s(%d) -> [%d,%d) misaligned or outside the %d-byte span",
+				seed, step, how, size, off, off+reserved, span)
+		}
+		if cs, ok := a.(alloc.ChunkSizer); ok {
+			if got := cs.ChunkSize(off); got != reserved {
+				t.Fatalf("seed %d step %d: ChunkSize(%#x) = %d, want reserved %d",
+					seed, step, off, got, reserved)
+			}
+		}
+		for u := off / minSize; u < (off+reserved)/minSize; u++ {
+			if occupied[u] {
+				t.Fatalf("seed %d step %d: %s(%d) at %#x double-hands-out unit %d",
+					seed, step, how, size, off, u)
+			}
+			occupied[u] = true
+		}
+		live = append(live, oracleChunk{off, reserved})
+	}
+	release := func(step, k int) oracleChunk {
+		c := live[k]
+		for u := c.off / minSize; u < (c.off+c.reserved)/minSize; u++ {
+			if !occupied[u] {
+				t.Fatalf("seed %d step %d: oracle lost unit %d of [%d,%d)", seed, step, u, c.off, c.off+c.reserved)
+			}
+			delete(occupied, u)
+		}
+		live[k] = live[len(live)-1]
+		live = live[:len(live)-1]
+		return c
+	}
+
+	steps := 4000
+	if testing.Short() {
+		steps = 800
+	}
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // single alloc through the handle
+			size := uint64(1) << (3 + rng.Intn(10)) // 8..4096
+			if off, ok := h.Alloc(size); ok {
+				admit(step, off, size, "Alloc")
+			}
+		case op < 6 && len(live) > 0: // single free through the handle
+			c := release(step, rng.Intn(len(live)))
+			h.Free(c.off)
+		case op < 7: // batched alloc through the bulk contract
+			size := uint64(1) << (3 + rng.Intn(8)) // 8..1024
+			n := 1 + rng.Intn(48)
+			for _, off := range alloc.HandleAllocBatch(h, size, n) {
+				admit(step, off, size, "AllocBatch")
+			}
+		case op < 8 && len(live) > 1: // batched free through the bulk contract
+			n := 1 + rng.Intn(len(live))
+			batch := make([]uint64, 0, n)
+			for i := 0; i < n; i++ {
+				batch = append(batch, release(step, rng.Intn(len(live))).off)
+			}
+			alloc.HandleFreeBatch(h, batch)
+		case op < 9: // quiescent maintenance: flush residue, then re-verify
+			if s, ok := a.(alloc.Scrubber); ok {
+				s.Scrub()
+				for _, c := range live {
+					if cs, ok := a.(alloc.ChunkSizer); ok {
+						if got := cs.ChunkSize(c.off); got != c.reserved {
+							t.Fatalf("seed %d step %d: after Scrub, ChunkSize(%#x) = %d, want %d",
+								seed, step, c.off, got, c.reserved)
+						}
+					}
+				}
+			}
+		default: // convenience-path alloc (bypasses magazines)
+			size := uint64(1) << (3 + rng.Intn(10))
+			if off, ok := a.Alloc(size); ok {
+				admit(step, off, size, "conv Alloc")
+			}
+		}
+	}
+
+	// Drain through the batched path, quiesce, and reconcile stats.
+	var rest []uint64
+	for _, c := range live {
+		rest = append(rest, c.off)
+	}
+	alloc.HandleFreeBatch(h, rest)
+	if s, ok := a.(alloc.Scrubber); ok {
+		s.Scrub()
+	}
+	for _, layer := range alloc.StackStats(a) {
+		if layer.Stats.Allocs != layer.Stats.Frees {
+			t.Fatalf("seed %d: layer %q unbalanced after drain: %d allocs vs %d frees",
+				seed, layer.Layer, layer.Stats.Allocs, layer.Stats.Frees)
+		}
+	}
+	mustAllocAfterDrain(t, a, geo.MaxSize, "differential drain")
+}

@@ -133,6 +133,14 @@ func (a *Allocator) Alloc(size uint64) (uint64, bool) { return a.inner.Alloc(siz
 // Free implements alloc.Allocator (pass-through).
 func (a *Allocator) Free(offset uint64) { a.inner.Free(offset) }
 
+// AllocBatch implements alloc.BatchAllocator (pass-through).
+func (a *Allocator) AllocBatch(size uint64, n int) []uint64 {
+	return alloc.AllocBatchOf(a.inner, size, n)
+}
+
+// FreeBatch implements alloc.BatchAllocator (pass-through).
+func (a *Allocator) FreeBatch(offsets []uint64) { alloc.FreeBatchOf(a.inner, offsets) }
+
 // NewHandle implements alloc.Allocator (pass-through: the layer holds no
 // per-worker state, so inner handles are used directly).
 func (a *Allocator) NewHandle() alloc.Handle { return a.inner.NewHandle() }

@@ -1,0 +1,95 @@
+package bunch
+
+import (
+	"repro/internal/geometry"
+	"repro/internal/status"
+)
+
+// Native alloc.BatchAllocator implementation over the bunch layout; see
+// internal/core/batch.go for the rationale. The scan is the same as the
+// 1-level variant's batched scan with the bunch-word probe substituted.
+
+// AllocBatch reserves up to n chunks of at least size bytes in one level
+// scan, returning their offsets. A short or empty result means the level
+// could not serve the remainder; an empty batch counts one AllocFail.
+func (h *Handle) AllocBatch(size uint64, n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	geo := h.a.geo
+	if size > geo.MaxSize {
+		h.stats.AllocFails++
+		return nil
+	}
+	out := make([]uint64, 0, n)
+	level := geo.LevelForSize(size)
+	base := geometry.FirstOfLevel(level)
+	end := base << 1
+	h.seq++
+	start := base + h.scatterSlot(level)
+
+	for pass := 0; pass < 2 && len(out) < n; pass++ {
+		lo, hi := start, end
+		if pass == 1 {
+			lo, hi = base, start
+		}
+		i := lo
+		for i < hi && len(out) < n {
+			word, field, count, _ := h.a.nodeWord(i)
+			if word.Load()&status.Fill(field, count, status.Busy) != 0 {
+				i++
+				continue
+			}
+			failedAt := h.tryAlloc(i)
+			if failedAt == 0 {
+				offset := geo.OffsetOf(i)
+				h.a.index[geo.UnitIndex(offset)].Store(uint32(i))
+				h.stats.Allocs++
+				out = append(out, offset)
+				i++
+				continue
+			}
+			h.stats.Retries++
+			d := uint64(1) << uint(level-geometry.LevelOf(failedAt))
+			next := (failedAt + 1) * d
+			if next <= i {
+				next = i + 1
+			}
+			i = next
+		}
+		if i > hi {
+			i = hi // a subtree skip may overshoot the pass bound
+		}
+		// Advance the scatter sequence past everything this pass walked
+		// (see the identical rover advance in internal/core/batch.go: a
+		// +1-per-call rotation would restart every batch inside its own
+		// still-live delivery and re-probe it end to end).
+		h.seq += i - lo
+	}
+	if len(out) == 0 {
+		h.stats.AllocFails++
+	}
+	return out
+}
+
+// FreeBatch releases a batch of previously allocated chunks.
+func (h *Handle) FreeBatch(offsets []uint64) {
+	for _, off := range offsets {
+		h.Free(off)
+	}
+}
+
+// AllocBatch implements alloc.BatchAllocator through a pooled handle.
+func (a *Allocator) AllocBatch(size uint64, n int) []uint64 {
+	h := a.pool.Get().(*Handle)
+	out := h.AllocBatch(size, n)
+	a.pool.Put(h)
+	return out
+}
+
+// FreeBatch implements alloc.BatchAllocator through a pooled handle.
+func (a *Allocator) FreeBatch(offsets []uint64) {
+	h := a.pool.Get().(*Handle)
+	h.FreeBatch(offsets)
+	a.pool.Put(h)
+}

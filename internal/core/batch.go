@@ -1,0 +1,104 @@
+package core
+
+import (
+	"repro/internal/geometry"
+	"repro/internal/status"
+)
+
+// This file implements the alloc.BatchAllocator contract natively: a bulk
+// allocation collects the whole batch in the same two-pass level scan that
+// a single Alloc uses for one node. A chunk-at-a-time loop restarts the
+// scan at a fresh scatter slot per call and re-walks the occupied runs it
+// already skipped; the batched scan keeps its position, so the probing
+// cost of the batch is one traversal of the level regardless of n.
+
+// AllocBatch reserves up to n chunks of at least size bytes in one level
+// scan and appends their offsets to the returned slice. A short (possibly
+// empty) result means the level could not serve the remainder; a batch
+// that delivers nothing counts one AllocFail, exactly like a failed
+// Alloc. Like every handle operation it is single-goroutine.
+func (h *Handle) AllocBatch(size uint64, n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	geo := h.a.geo
+	if size > geo.MaxSize {
+		h.stats.AllocFails++
+		return nil
+	}
+	out := make([]uint64, 0, n)
+	level := geo.LevelForSize(size)
+	base := geometry.FirstOfLevel(level)
+	end := base << 1
+	h.seq++
+	start := base + h.scatterSlot(level)
+
+	for pass := 0; pass < 2 && len(out) < n; pass++ {
+		lo, hi := start, end
+		if pass == 1 {
+			lo, hi = base, start
+		}
+		i := lo
+		for i < hi && len(out) < n {
+			if !status.IsFree(h.a.tree[i].Load()) {
+				i++
+				continue
+			}
+			failedAt := h.tryAlloc(i)
+			if failedAt == 0 {
+				offset := geo.OffsetOf(i)
+				h.a.index[geo.UnitIndex(offset)].Store(uint32(i))
+				h.stats.Allocs++
+				out = append(out, offset)
+				i++
+				continue
+			}
+			h.stats.Retries++
+			d := uint64(1) << uint(level-geometry.LevelOf(failedAt))
+			next := (failedAt + 1) * d
+			if next <= i {
+				next = i + 1
+			}
+			i = next
+		}
+		if i > hi {
+			i = hi // a subtree skip may overshoot the pass bound
+		}
+		// Advance the scatter sequence past everything this pass walked,
+		// so the next batch resumes where this scan stopped. The
+		// single-alloc +1 rotation assumes one consumed slot per call; a
+		// batch that delivered a whole run would otherwise restart the
+		// next call inside its own still-live delivery and re-probe it
+		// end to end (quadratic in the live-run length).
+		h.seq += i - lo
+	}
+	if len(out) == 0 {
+		h.stats.AllocFails++
+	}
+	return out
+}
+
+// FreeBatch releases a batch of previously allocated chunks. The release
+// climbs are the same as chunk-at-a-time frees (coalescing is already
+// pairwise); the batch form exists so layer crossings hand the whole
+// magazine down in one call.
+func (h *Handle) FreeBatch(offsets []uint64) {
+	for _, off := range offsets {
+		h.Free(off)
+	}
+}
+
+// AllocBatch implements alloc.BatchAllocator through a pooled handle.
+func (a *Allocator) AllocBatch(size uint64, n int) []uint64 {
+	h := a.pool.Get().(*Handle)
+	out := h.AllocBatch(size, n)
+	a.pool.Put(h)
+	return out
+}
+
+// FreeBatch implements alloc.BatchAllocator through a pooled handle.
+func (a *Allocator) FreeBatch(offsets []uint64) {
+	h := a.pool.Get().(*Handle)
+	h.FreeBatch(offsets)
+	a.pool.Put(h)
+}

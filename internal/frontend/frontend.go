@@ -13,6 +13,12 @@
 // spills — the cross-thread contention points of a cached design — hit an
 // allocator that does not serialize them.
 //
+// With WithDepot the spill path changes discipline: full magazines are
+// exchanged whole with a shared per-size-class depot in O(1), and only
+// depot misses (batch refill) and depot overflows (batch drain) cross
+// into the back-end, through the alloc.BatchAllocator bulk contract (see
+// DESIGN.md, "The bulk-transfer contract and the magazine depot").
+//
 // The front-end is a composable layer (see DESIGN.md): it works over any
 // alloc.Allocator that implements alloc.ChunkSizer — a leaf variant, a
 // multi-instance router, a traced stack — and itself forwards the whole
@@ -36,17 +42,49 @@ type Allocator struct {
 	sizer   alloc.ChunkSizer
 	geo     geometry.Geometry
 	magCap  int
+	// depot, when non-nil, is the shared magazine exchange: overflowing
+	// handles park full magazines there in O(1) instead of spilling
+	// chunk-at-a-time, and dry handles grab them back. refill is the
+	// batch size of a back-end refill after a depot miss.
+	depot  *Depot
+	refill int
 
 	mu      sync.Mutex
 	handles []*Handle
 	conv    alloc.Stats // ops served by the pass-through convenience path
 }
 
+// Option tunes the front-end beyond the magazine capacity.
+type Option func(*Allocator)
+
+// WithDepot attaches the shared magazine depot: full magazines are
+// exchanged with a per-size-class global pool in O(1), and only depot
+// misses (refill) and overflows (drain) cross into the back-end — as
+// batches via the alloc.BatchAllocator contract, not chunk-at-a-time.
+// capacity bounds the full magazines retained per class (0 = default).
+func WithDepot(capacity int) Option {
+	return func(a *Allocator) {
+		classes := a.geo.Depth - a.geo.MaxLevel + 1
+		a.depot = newDepot(classes, capacity)
+	}
+}
+
+// WithBatchRefill sets how many chunks a back-end batch refill brings up
+// after a depot miss (default: half a magazine). Only meaningful with
+// WithDepot.
+func WithBatchRefill(n int) Option {
+	return func(a *Allocator) {
+		if n > 0 {
+			a.refill = n
+		}
+	}
+}
+
 // New layers a front-end over the given back-end, which must implement
 // alloc.ChunkSizer (every layer in this repository does): frees enter the
 // magazine of the size class the chunk was reserved at, which only the
 // back-end metadata knows.
-func New(backend alloc.Allocator, magCap int) (*Allocator, error) {
+func New(backend alloc.Allocator, magCap int, opts ...Option) (*Allocator, error) {
 	sizer, ok := backend.(alloc.ChunkSizer)
 	if !ok {
 		return nil, fmt.Errorf("frontend: backend %s cannot report chunk sizes", backend.Name())
@@ -54,11 +92,27 @@ func New(backend alloc.Allocator, magCap int) (*Allocator, error) {
 	if magCap <= 0 {
 		magCap = DefaultMagazine
 	}
-	return &Allocator{backend: backend, sizer: sizer, geo: backend.Geometry(), magCap: magCap}, nil
+	a := &Allocator{backend: backend, sizer: sizer, geo: backend.Geometry(), magCap: magCap}
+	a.refill = magCap / 2
+	if a.refill == 0 {
+		a.refill = 1
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a, nil
 }
 
 // Name implements alloc.Allocator.
-func (a *Allocator) Name() string { return "cached+" + a.backend.Name() }
+func (a *Allocator) Name() string {
+	if a.depot != nil {
+		return "depot+" + a.backend.Name()
+	}
+	return "cached+" + a.backend.Name()
+}
+
+// Depot exposes the shared magazine depot (nil without WithDepot).
+func (a *Allocator) Depot() *Depot { return a.depot }
 
 // Geometry implements alloc.Allocator.
 func (a *Allocator) Geometry() geometry.Geometry { return a.geo }
@@ -100,6 +154,28 @@ func (a *Allocator) Free(offset uint64) {
 	a.mu.Unlock()
 }
 
+// AllocBatch implements alloc.BatchAllocator: like the convenience Alloc,
+// the pass-through path does not cache, it forwards the bulk request to
+// the back-end (natively or via the shim).
+func (a *Allocator) AllocBatch(size uint64, n int) []uint64 {
+	out := alloc.AllocBatchOf(a.backend, size, n)
+	a.mu.Lock()
+	a.conv.Allocs += uint64(len(out))
+	if len(out) == 0 && n > 0 {
+		a.conv.AllocFails++
+	}
+	a.mu.Unlock()
+	return out
+}
+
+// FreeBatch implements alloc.BatchAllocator (pass-through, see AllocBatch).
+func (a *Allocator) FreeBatch(offsets []uint64) {
+	alloc.FreeBatchOf(a.backend, offsets)
+	a.mu.Lock()
+	a.conv.Frees += uint64(len(offsets))
+	a.mu.Unlock()
+}
+
 // Stats implements alloc.Allocator with this layer's view of the traffic:
 // the operations served at the front-end (magazine hits included),
 // aggregated across handles and the convenience path. The back-end's own
@@ -131,15 +207,22 @@ func (a *Allocator) CacheTotals() CacheStats {
 }
 
 // Scrub implements alloc.Scrubber for the stack: it flushes every
-// handle's magazines back to the back-end, then forwards Scrub inward.
-// Magazines are per-worker state, so this is strictly quiescent-only —
-// no handle may be in use concurrently.
+// handle's magazines back to the back-end, drains the depot (depot
+// residency does not survive a quiesce — every parked magazine goes back
+// down, each as one batch), then forwards Scrub inward. Magazines are
+// per-worker state, so this is strictly quiescent-only — no handle may be
+// in use concurrently.
 func (a *Allocator) Scrub() {
 	a.mu.Lock()
 	handles := append([]*Handle(nil), a.handles...)
 	a.mu.Unlock()
 	for _, h := range handles {
 		h.Flush()
+	}
+	if a.depot != nil {
+		for _, mag := range a.depot.DrainAll() {
+			alloc.FreeBatchOf(a.backend, mag)
+		}
 	}
 	if s, ok := a.backend.(alloc.Scrubber); ok {
 		s.Scrub()
@@ -150,15 +233,29 @@ func (a *Allocator) Scrub() {
 // magazine counters, then the wrapped stack's entries.
 func (a *Allocator) LayerStats() []alloc.LayerStats {
 	cache := a.CacheTotals()
+	layer := "cached"
+	extra := map[string]uint64{
+		"hits":    cache.Hits,
+		"misses":  cache.Misses,
+		"spills":  cache.Spills,
+		"refills": cache.Refills,
+	}
+	if a.depot != nil {
+		layer = "depot"
+		ds := a.depot.Stats()
+		extra["depot_full_pushes"] = ds.FullPushes
+		extra["depot_full_pops"] = ds.FullPops
+		extra["depot_pop_misses"] = ds.PopMisses
+		extra["depot_drains"] = ds.Drains
+		extra["depot_drained_chunks"] = ds.DrainedChunks
+		extra["depot_batch_refills"] = ds.Refills
+		extra["depot_refilled_chunks"] = ds.RefilledChunks
+		extra["depot_retained_chunks"] = uint64(a.depot.Retained())
+	}
 	entry := alloc.LayerStats{
-		Layer: "cached",
+		Layer: layer,
 		Stats: a.Stats(),
-		Extra: map[string]uint64{
-			"hits":    cache.Hits,
-			"misses":  cache.Misses,
-			"spills":  cache.Spills,
-			"refills": cache.Refills,
-		},
+		Extra: extra,
 	}
 	return append([]alloc.LayerStats{entry}, alloc.StackStats(a.backend)...)
 }
@@ -198,17 +295,44 @@ type Handle struct {
 
 func (h *Handle) class(level int) int { return level - h.a.geo.MaxLevel }
 
-// Alloc serves from the size class magazine, falling back to the back-end.
+// Alloc serves from the size class magazine. On an empty magazine a
+// depot-backed handle exchanges it for a full one in O(1), and only a
+// depot miss reaches the back-end — as one batch refill. Without a depot
+// the miss goes straight down, chunk-at-a-time (the PR-1 discipline).
 func (h *Handle) Alloc(size uint64) (uint64, bool) {
 	if size > h.a.geo.MaxSize {
 		h.stats.AllocFails++
 		return 0, false
 	}
-	cls := h.class(h.a.geo.LevelForSize(size))
+	level := h.a.geo.LevelForSize(size)
+	cls := h.class(level)
 	if mag := h.mags[cls]; len(mag) > 0 {
 		off := mag[len(mag)-1]
 		h.mags[cls] = mag[:len(mag)-1]
 		h.cache.Hits++
+		h.stats.Allocs++
+		return off, true
+	}
+	if d := h.a.depot; d != nil {
+		if mag, ok := d.ExchangeFull(cls, h.mags[cls]); ok {
+			off := mag[len(mag)-1]
+			h.mags[cls] = mag[:len(mag)-1]
+			h.cache.Hits++
+			h.stats.Allocs++
+			return off, true
+		}
+		// Depot miss: one back-end trip restocks the magazine. The batch
+		// requests the class's reserved size so every refilled chunk
+		// classifies back into this magazine.
+		batch := alloc.HandleAllocBatch(h.back, h.a.geo.SizeOfLevel(level), h.a.refill)
+		h.cache.Misses++
+		if len(batch) == 0 {
+			h.stats.AllocFails++
+			return 0, false
+		}
+		off := batch[len(batch)-1]
+		h.mags[cls] = append(h.mags[cls], batch[:len(batch)-1]...)
+		d.noteRefill(len(batch))
 		h.stats.Allocs++
 		return off, true
 	}
@@ -222,32 +346,49 @@ func (h *Handle) Alloc(size uint64) (uint64, bool) {
 	return off, ok
 }
 
-// Free pushes the chunk into its class magazine, spilling the older half
-// to the back-end when the magazine is full.
+// Free pushes the chunk into its class magazine. When the magazine is
+// full a depot-backed handle parks it whole in the depot in O(1) (or, at
+// depot capacity, drains it to the back-end as one batch); without a
+// depot the older half spills chunk-at-a-time as before.
 func (h *Handle) Free(offset uint64) {
 	size := h.a.sizer.ChunkSize(offset)
 	cls := h.class(h.a.geo.LevelForSize(size))
 	mag := h.mags[cls]
 	if len(mag) >= h.a.magCap {
-		spill := len(mag) / 2
-		for _, off := range mag[:spill] {
-			h.back.Free(off)
-			h.cache.Spills++
+		if d := h.a.depot; d != nil {
+			if fresh, ok := d.ExchangeEmpty(cls, mag); ok {
+				if fresh == nil {
+					fresh = make([]uint64, 0, h.a.magCap)
+				}
+				mag = fresh
+			} else {
+				alloc.HandleFreeBatch(h.back, mag)
+				h.cache.Spills += uint64(len(mag))
+				mag = mag[:0]
+			}
+		} else {
+			spill := len(mag) / 2
+			for _, off := range mag[:spill] {
+				h.back.Free(off)
+				h.cache.Spills++
+			}
+			mag = append(mag[:0], mag[spill:]...)
 		}
-		mag = append(mag[:0], mag[spill:]...)
 	}
 	h.mags[cls] = append(mag, offset)
 	h.cache.Refills++
 	h.stats.Frees++
 }
 
-// Flush returns every cached chunk to the back-end.
+// Flush returns every cached chunk to the back-end, one batch per
+// magazine.
 func (h *Handle) Flush() {
 	for cls, mag := range h.mags {
-		for _, off := range mag {
-			h.back.Free(off)
-			h.cache.Spills++
+		if len(mag) == 0 {
+			continue
 		}
+		alloc.HandleFreeBatch(h.back, mag)
+		h.cache.Spills += uint64(len(mag))
 		h.mags[cls] = mag[:0]
 	}
 }

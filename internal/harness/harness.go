@@ -6,10 +6,12 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/stats"
@@ -58,6 +60,8 @@ func (s Sweep) Run(progress io.Writer) ([]Cell, error) {
 			for _, name := range s.Allocators {
 				samples := make([]float64, 0, reps)
 				var last workload.Result
+				var totOps, totFails uint64
+				var totElapsed time.Duration
 				for r := 0; r < reps; r++ {
 					a, err := alloc.Build(name, s.Instance)
 					if err != nil {
@@ -79,7 +83,13 @@ func (s Sweep) Run(progress io.Writer) ([]Cell, error) {
 					// and tables match on the sweep's labels.
 					last.Allocator = name
 					samples = append(samples, last.Elapsed.Seconds())
+					totOps += last.Ops
+					totFails += last.Fails
+					totElapsed += last.Elapsed
 				}
+				// Pool ops and elapsed across reps so Throughput is the
+				// pooled mean, not the last rep's sample.
+				last.Ops, last.Fails, last.Elapsed = totOps, totFails, totElapsed
 				cell := Cell{Result: last, Summary: stats.Summarize(samples)}
 				cells = append(cells, cell)
 				if progress != nil {
@@ -165,13 +175,74 @@ func Table(w io.Writer, title string, cells []Cell, size uint64, allocators []st
 	}
 }
 
-// CSV renders all cells as comma-separated rows with a header.
+// CSV renders all cells as comma-separated rows with a header. seconds
+// is the per-rep mean while ops/fails are pooled across reps; the reps
+// column is what relates the two (ops_per_sec is already the pooled
+// ops/elapsed ratio).
 func CSV(w io.Writer, cells []Cell) {
-	fmt.Fprintln(w, "workload,allocator,bytes,threads,seconds,ops,ops_per_sec,fails")
+	fmt.Fprintln(w, "workload,allocator,bytes,threads,reps,seconds,ops,ops_per_sec,fails")
 	for _, c := range cells {
-		fmt.Fprintf(w, "%s,%s,%d,%d,%.6f,%d,%.1f,%d\n",
-			c.Workload, c.Allocator, c.Size, c.Threads, c.Summary.Mean, c.Ops, c.Throughput(), c.Fails)
+		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.6f,%d,%.1f,%d\n",
+			c.Workload, c.Allocator, c.Size, c.Threads, c.Summary.N, c.Summary.Mean, c.Ops, c.Throughput(), c.Fails)
 	}
+}
+
+// JSONSchema versions the machine-readable report format so trajectory
+// tooling can detect incompatible changes.
+const JSONSchema = "nbbsbench/v1"
+
+// JSONCell is one grid point of the machine-readable report.
+type JSONCell struct {
+	Workload   string  `json:"workload"`
+	Allocator  string  `json:"allocator"`
+	Bytes      uint64  `json:"bytes"`
+	Threads    int     `json:"threads"`
+	Reps       int     `json:"reps"`
+	SecondsAvg float64 `json:"seconds_mean"`
+	SecondsMin float64 `json:"seconds_min"`
+	SecondsMax float64 `json:"seconds_max"`
+	SecondsStd float64 `json:"seconds_std"`
+	Ops        uint64  `json:"ops"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	Fails      uint64  `json:"fails"`
+}
+
+// JSONReport is the machine-readable benchmark report emitted by
+// `nbbsbench -json` — the format the BENCH_*.json perf-trajectory files
+// are committed in, one point per PR.
+type JSONReport struct {
+	Schema string     `json:"schema"`
+	Label  string     `json:"label,omitempty"`
+	Cells  []JSONCell `json:"cells"`
+}
+
+// Report converts measured cells into a machine-readable report.
+func Report(label string, cells []Cell) JSONReport {
+	rep := JSONReport{Schema: JSONSchema, Label: label}
+	for _, c := range cells {
+		rep.Cells = append(rep.Cells, JSONCell{
+			Workload:   c.Workload,
+			Allocator:  c.Allocator,
+			Bytes:      c.Size,
+			Threads:    c.Threads,
+			Reps:       c.Summary.N,
+			SecondsAvg: c.Summary.Mean,
+			SecondsMin: c.Summary.Min,
+			SecondsMax: c.Summary.Max,
+			SecondsStd: c.Summary.Std,
+			Ops:        c.Ops,
+			OpsPerSec:  c.Throughput(),
+			Fails:      c.Fails,
+		})
+	}
+	return rep
+}
+
+// JSON renders cells as an indented machine-readable report.
+func JSON(w io.Writer, label string, cells []Cell) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Report(label, cells))
 }
 
 // GnuplotSeries renders one column block per allocator: "threads value"

@@ -1,0 +1,77 @@
+package multi
+
+// Batch routing: the router implements the bulk-transfer contract by
+// splitting batches per instance. A bulk allocation asks the preferred
+// instance for the whole batch and falls back to the other instances for
+// the remainder (the per-chunk zone-fallback discipline, applied once per
+// sub-batch instead of once per chunk); a bulk release groups the global
+// offsets by owning instance and hands each instance its group in one
+// call, so a depot drain crossing the router stays one operation per
+// instance rather than one per chunk.
+
+import "repro/internal/alloc"
+
+// AllocBatch implements alloc.BatchHandle with per-instance routing.
+func (h *Handle) AllocBatch(size uint64, n int) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]uint64, 0, n)
+	m := h.m
+	cnt := len(h.subs)
+	for d := 0; d < cnt && len(out) < n; d++ {
+		k := (h.pref + d) % cnt
+		got := alloc.HandleAllocBatch(h.subs[k], size, n-len(out))
+		if len(got) == 0 {
+			continue
+		}
+		base := uint64(k) * m.span
+		for _, off := range got {
+			out = append(out, base+off)
+		}
+		h.stats.Allocs += uint64(len(got))
+		if d != 0 {
+			h.fallbacks += uint64(len(got))
+		}
+	}
+	if len(out) == 0 {
+		h.stats.AllocFails++
+	}
+	return out
+}
+
+// FreeBatch implements alloc.BatchHandle: offsets are grouped by owning
+// instance and each group is released in one per-instance call.
+func (h *Handle) FreeBatch(offsets []uint64) {
+	if len(offsets) == 0 {
+		return
+	}
+	groups := make([][]uint64, len(h.subs))
+	for _, off := range offsets {
+		k, local := h.m.route(off)
+		groups[k] = append(groups[k], local)
+	}
+	for k, group := range groups {
+		if len(group) == 0 {
+			continue
+		}
+		alloc.HandleFreeBatch(h.subs[k], group)
+		h.stats.Frees += uint64(len(group))
+	}
+}
+
+// AllocBatch implements alloc.BatchAllocator through a recycled
+// convenience handle (see Multi.Alloc for why handles are pooled).
+func (m *Multi) AllocBatch(size uint64, n int) []uint64 {
+	h := m.getConv()
+	out := h.AllocBatch(size, n)
+	m.putConv(h)
+	return out
+}
+
+// FreeBatch implements alloc.BatchAllocator through a recycled handle.
+func (m *Multi) FreeBatch(offsets []uint64) {
+	h := m.getConv()
+	h.FreeBatch(offsets)
+	m.putConv(h)
+}

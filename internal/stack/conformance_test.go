@@ -98,7 +98,10 @@ func TestConformanceFullStack(t *testing.T) {
 // TestConformanceRegistryComposites runs the suite over the composite
 // variants registered for the benchmark harness, by name like any leaf.
 func TestConformanceRegistryComposites(t *testing.T) {
-	for _, name := range []string{"cached+4lvl-nb", "multi4+4lvl-nb", "cached+multi4+4lvl-nb"} {
+	for _, name := range []string{
+		"cached+4lvl-nb", "multi4+4lvl-nb", "cached+multi4+4lvl-nb",
+		"depot+4lvl-nb", "depot+multi4+4lvl-nb",
+	} {
 		t.Run(name, func(t *testing.T) { alloctest.Run(t, name) })
 	}
 }

@@ -1,0 +1,56 @@
+package stack_test
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/alloctest"
+)
+
+// TestDifferentialRegistryComposites fuzzes every registry composite —
+// the PR-1 stacks and the depot-backed ones — against the map-based
+// oracle: random single/batched alloc/free sequences with interleaved
+// quiescent Scrubs, checking no double-hand-out, exact ChunkSize
+// reporting, and per-layer stats reconciliation after the drain.
+func TestDifferentialRegistryComposites(t *testing.T) {
+	composites := []string{
+		"cached+4lvl-nb",
+		"multi4+4lvl-nb",
+		"cached+multi4+4lvl-nb",
+		"depot+4lvl-nb",
+		"depot+multi4+4lvl-nb",
+	}
+	for _, name := range composites {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			alloctest.RunDifferential(t, func(t *testing.T, total, minSize, maxSize uint64) alloc.Allocator {
+				t.Helper()
+				a, err := alloc.Build(name, alloc.Config{Total: total, MinSize: minSize, MaxSize: maxSize})
+				if err != nil {
+					t.Fatalf("Build(%q): %v", name, err)
+				}
+				return a
+			})
+		})
+	}
+}
+
+// TestDifferentialLeaves anchors the oracle against the bare leaf
+// variants, so a divergence in a composite run isolates to the layers.
+func TestDifferentialLeaves(t *testing.T) {
+	for _, name := range []string{"4lvl-nb", "1lvl-nb"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			alloctest.RunDifferential(t, func(t *testing.T, total, minSize, maxSize uint64) alloc.Allocator {
+				t.Helper()
+				a, err := alloc.Build(name, alloc.Config{Total: total, MinSize: minSize, MaxSize: maxSize})
+				if err != nil {
+					t.Fatalf("Build(%q): %v", name, err)
+				}
+				return a
+			})
+		})
+	}
+}

@@ -12,7 +12,8 @@
 //	leaf variant(s) -> multi router -> caching front-end -> trace -> arena
 //
 // Common compositions are also registered as allocator variants
-// ("cached+4lvl-nb", "multi4+4lvl-nb", "cached+multi4+4lvl-nb"), which
+// ("cached+4lvl-nb", "multi4+4lvl-nb", "cached+multi4+4lvl-nb", and the
+// depot-backed "depot+4lvl-nb"/"depot+multi4+4lvl-nb"), which
 // makes them first-class citizens of every harness in the repository:
 // nbbsbench sweeps, nbbsstress verification, and the conformance suite
 // build them by name like any leaf allocator. For those names the
@@ -48,6 +49,15 @@ type Spec struct {
 	// capacity (0 = frontend.DefaultMagazine).
 	Cached   bool
 	Magazine int
+	// Depot attaches the shared magazine depot to the front-end (implies
+	// Cached): full magazines are exchanged with a per-size-class global
+	// pool in O(1), and refills/drains cross into the back-end as batches
+	// through the alloc.BatchAllocator contract. DepotCapacity bounds the
+	// full magazines retained per class and BatchRefill sizes a back-end
+	// refill (0 = defaults).
+	Depot         bool
+	DepotCapacity int
+	BatchRefill   int
 	// Record, when non-nil, inserts the trace-recording layer appending
 	// to this trace.
 	Record *trace.Trace
@@ -121,8 +131,15 @@ func Build(s Spec) (*Stack, error) {
 	_, st.scrubbable = leafOf(st.Backend).(alloc.Scrubber)
 
 	st.Top = st.Backend
-	if s.Cached {
-		fe, err := frontend.New(st.Top, s.Magazine)
+	if s.Cached || s.Depot {
+		var feOpts []frontend.Option
+		if s.Depot {
+			feOpts = append(feOpts, frontend.WithDepot(s.DepotCapacity))
+		}
+		if s.BatchRefill > 0 {
+			feOpts = append(feOpts, frontend.WithBatchRefill(s.BatchRefill))
+		}
+		fe, err := frontend.New(st.Top, s.Magazine, feOpts...)
 		if err != nil {
 			return nil, err
 		}
@@ -205,6 +222,24 @@ func init() {
 	alloc.Register("cached+multi4+4lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
 		n := registryInstances(4, cfg)
 		st, err := Build(Spec{Variant: "4lvl-nb", Per: perConfig(cfg, n), Instances: n, Cached: true})
+		if err != nil {
+			return nil, err
+		}
+		return st.Top, nil
+	})
+	// Depot composites: the caching front-end with the shared magazine
+	// depot, exchanging full magazines in O(1) and crossing into the
+	// back-end only in batches.
+	alloc.Register("depot+4lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
+		st, err := Build(Spec{Variant: "4lvl-nb", Per: cfg, Depot: true})
+		if err != nil {
+			return nil, err
+		}
+		return st.Top, nil
+	})
+	alloc.Register("depot+multi4+4lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
+		n := registryInstances(4, cfg)
+		st, err := Build(Spec{Variant: "4lvl-nb", Per: perConfig(cfg, n), Instances: n, Depot: true})
 		if err != nil {
 			return nil, err
 		}

@@ -145,6 +145,17 @@ func (a *Allocator) Alloc(size uint64) (uint64, bool) { return a.inner.Alloc(siz
 // Free implements alloc.Allocator (pass-through, unrecorded).
 func (a *Allocator) Free(offset uint64) { a.inner.Free(offset) }
 
+// AllocBatch implements alloc.BatchAllocator (pass-through, unrecorded —
+// like the convenience Alloc, it is not a worker schedule). Recording
+// handles see batches as individual operations through the shim, which
+// keeps replay exact.
+func (a *Allocator) AllocBatch(size uint64, n int) []uint64 {
+	return alloc.AllocBatchOf(a.inner, size, n)
+}
+
+// FreeBatch implements alloc.BatchAllocator (pass-through, unrecorded).
+func (a *Allocator) FreeBatch(offsets []uint64) { alloc.FreeBatchOf(a.inner, offsets) }
+
 // ChunkSize implements alloc.ChunkSizer (pass-through).
 func (a *Allocator) ChunkSize(offset uint64) uint64 { return a.sizer.ChunkSize(offset) }
 

@@ -1,5 +1,5 @@
-// Package workload implements the four benchmark drivers of the paper's
-// evaluation (§IV):
+// Package workload implements the benchmark drivers: the four of the
+// paper's evaluation (§IV) plus a remote-free producer/consumer driver:
 //
 //   - Linux Scalability [22]: every thread runs a tight alloc/free
 //     ping-pong of one fixed size.
@@ -12,6 +12,10 @@
 //     mixed-size pool (more chunks at smaller sizes), then repeatedly
 //     frees a random pool entry and re-allocates the same size, keeping
 //     the buddy occupancy factor constant.
+//   - Remote Free (this repository's): a producer/consumer hand-off
+//     where every release is performed by a thread that did not allocate
+//     the chunk — the pure cross-thread pattern that Larson samples,
+//     isolated to exercise front-end spill/depot behaviour.
 //
 // Every driver takes a prebuilt allocator instance and a Config whose
 // operation counts follow the paper (20M/T for Linux Scalability and
@@ -76,12 +80,15 @@ func (r Result) Throughput() float64 {
 // Func is a benchmark driver.
 type Func func(a alloc.Allocator, cfg Config) Result
 
-// Drivers enumerates the four benchmarks by their evaluation names.
+// Drivers enumerates the benchmarks by their evaluation names: the
+// paper's four plus the remote-free producer/consumer driver that
+// isolates the cross-thread release path.
 var Drivers = map[string]Func{
 	"linux-scalability":  LinuxScalability,
 	"thread-test":        ThreadTest,
 	"larson":             Larson,
 	"constant-occupancy": ConstantOccupancy,
+	"remote-free":        RemoteFree,
 }
 
 // run spawns cfg.Threads workers, waits for all to finish, and accounts
@@ -202,6 +209,64 @@ func Larson(a alloc.Allocator, cfg Config) Result {
 	}
 	res.Elapsed = window // throughput is defined over the window
 	return res
+}
+
+// remoteFreeQueueCap bounds the in-flight chunks per hand-off queue:
+// deep enough that producers rarely stall, shallow enough that the
+// working set stays bounded.
+const remoteFreeQueueCap = 1024
+
+// RemoteFree: a producer/consumer hand-off. Half the threads allocate
+// and push offsets through a shared queue; the other half pop and free
+// them, so every single release is remote — the pure form of the
+// cross-thread pattern Larson only samples. This is the front-end's
+// worst case: consumer magazines fill with chunks the consumer never
+// re-allocates, so a chunk-at-a-time front-end pays a back-end round
+// trip per spilled chunk, while a depot-backed one hands whole magazines
+// across in O(1). With one thread the driver degenerates to a local
+// alloc/free ping-pong through the queue.
+func RemoteFree(a alloc.Allocator, cfg Config) Result {
+	producers := cfg.Threads / 2
+	if producers == 0 {
+		producers = 1
+	}
+	queue := make(chan uint64, remoteFreeQueueCap)
+	iters := cfg.scaled(10_000_000) / uint64(producers)
+	var done sync.WaitGroup
+	done.Add(producers)
+	go func() {
+		done.Wait()
+		close(queue)
+	}()
+	return run("remote-free", a, cfg, func(id int, h alloc.Handle) {
+		if id < producers {
+			for i := uint64(0); i < iters; i++ {
+				if off, ok := h.Alloc(cfg.Size); ok {
+					if cfg.Threads == 1 {
+						// Single-thread degenerate mode: drain inline so the
+						// bounded queue cannot deadlock the lone worker.
+						select {
+						case queue <- off:
+						default:
+							h.Free(off)
+						}
+					} else {
+						queue <- off
+					}
+				}
+			}
+			done.Done()
+			if id == 0 && cfg.Threads == 1 {
+				for off := range queue {
+					h.Free(off)
+				}
+			}
+			return
+		}
+		for off := range queue {
+			h.Free(off)
+		}
+	})
 }
 
 func normScale(s float64) float64 {

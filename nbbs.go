@@ -139,6 +139,9 @@ type options struct {
 	policy      multi.Policy
 	cached      bool
 	magazine    int
+	depot       bool
+	depotCap    int
+	batchRefill int
 	record      *trace.Trace
 	materialize bool
 }
@@ -161,6 +164,24 @@ func WithFrontend(magazine int) Option {
 	return func(o *options) { o.cached = true; o.magazine = magazine }
 }
 
+// WithDepot attaches the shared magazine depot to the caching front-end
+// (implying WithFrontend when not set): when a worker's magazine
+// overflows it is parked whole in a per-size-class global depot in O(1),
+// and a worker running dry grabs a full magazine back the same way —
+// the cross-thread hand-off cost of remote frees becomes one pointer
+// swap per magazine instead of a back-end round trip per chunk. Depot
+// misses and overflows cross into the back-end as batches via the
+// bulk-transfer contract (AllocBatch/FreeBatch). capacity bounds the
+// full magazines retained per size class (0 = default).
+func WithDepot(capacity int) Option {
+	return func(o *options) { o.depot = true; o.depotCap = capacity }
+}
+
+// WithBatchRefill tunes how many chunks a back-end batch refill brings up
+// after a depot miss (default: half a magazine). Only meaningful with
+// WithDepot.
+func WithBatchRefill(n int) Option { return func(o *options) { o.batchRefill = n } }
+
 // WithTrace records every handle operation into t for deterministic
 // replay and regression debugging.
 func WithTrace(t *Trace) Option { return func(o *options) { o.record = t } }
@@ -172,14 +193,17 @@ func WithMaterializedRegion() Option { return func(o *options) { o.materialize =
 
 func build(cfg Config, o options) (*Buddy, error) {
 	st, err := stack.Build(stack.Spec{
-		Variant:     o.variant,
-		Per:         alloc.Config{Total: cfg.Total, MinSize: cfg.MinSize, MaxSize: cfg.MaxSize},
-		Instances:   o.instances,
-		Policy:      o.policy,
-		Cached:      o.cached,
-		Magazine:    o.magazine,
-		Record:      o.record,
-		Materialize: o.materialize,
+		Variant:       o.variant,
+		Per:           alloc.Config{Total: cfg.Total, MinSize: cfg.MinSize, MaxSize: cfg.MaxSize},
+		Instances:     o.instances,
+		Policy:        o.policy,
+		Cached:        o.cached,
+		Magazine:      o.magazine,
+		Depot:         o.depot,
+		DepotCapacity: o.depotCap,
+		BatchRefill:   o.batchRefill,
+		Record:        o.record,
+		Materialize:   o.materialize,
 	})
 	if err != nil {
 		return nil, err
@@ -242,6 +266,31 @@ func (b *Buddy) Free(offset uint64) { b.st.Top.Free(offset) }
 // hot paths. With WithFrontend the handle caches in per-size-class
 // magazines.
 func (b *Buddy) NewHandle() Handle { return b.st.Top.NewHandle() }
+
+// AllocBatch reserves up to n chunks of at least size bytes in one call
+// through the stack's bulk-transfer contract: layers with native batching
+// (the non-blocking leaves, the router, the depot) serve it in one
+// crossing each, the rest are served chunk-at-a-time. A short (possibly
+// empty) result means the instance could not serve the remainder.
+func (b *Buddy) AllocBatch(size uint64, n int) []uint64 {
+	return alloc.AllocBatchOf(b.st.Top, size, n)
+}
+
+// FreeBatch releases a batch of previously allocated chunks in one call;
+// like Free, releasing an offset that is not currently allocated panics.
+func (b *Buddy) FreeBatch(offsets []uint64) { alloc.FreeBatchOf(b.st.Top, offsets) }
+
+// DepotStats are the shared magazine depot's counters; see Buddy.DepotStats.
+type DepotStats = frontend.DepotStats
+
+// DepotStats returns the depot counters of a stack built WithDepot; ok is
+// false otherwise. Quiescent points only.
+func (b *Buddy) DepotStats() (DepotStats, bool) {
+	if b.st.Frontend == nil || b.st.Frontend.Depot() == nil {
+		return DepotStats{}, false
+	}
+	return b.st.Frontend.Depot().Stats(), true
+}
 
 // Stats aggregates operation counters across all handles at the top
 // layer of the stack; call it at quiescent points (not concurrently with

@@ -307,6 +307,85 @@ func TestComposedStackEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDepotStackEndToEnd drives the depot-backed production composition
+// through the facade: O(1) magazine exchanges between workers, bulk
+// alloc/free through the batched contract, depot counters via
+// DepotStats and LayerStats, and full reclamation on Scrub.
+func TestDepotStackEndToEnd(t *testing.T) {
+	b, err := nbbs.New(cfg,
+		nbbs.WithInstances(4),
+		nbbs.WithFrontend(8),
+		nbbs.WithDepot(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "depot+multi[4x 4lvl-nb]" {
+		t.Fatalf("Name = %q", b.Name())
+	}
+
+	// Bulk contract through the whole stack.
+	batch := b.AllocBatch(256, 100)
+	if len(batch) != 100 {
+		t.Fatalf("AllocBatch delivered %d chunks, want 100", len(batch))
+	}
+	seen := map[uint64]bool{}
+	for _, off := range batch {
+		if seen[off] {
+			t.Fatalf("chunk %#x delivered twice", off)
+		}
+		seen[off] = true
+		if got := b.ChunkSize(off); got != 256 {
+			t.Fatalf("ChunkSize(%#x) = %d, want 256", off, got)
+		}
+	}
+	b.FreeBatch(batch)
+
+	// A producer/consumer pair across handles exercises the depot
+	// exchange path: the consumer frees what the producer allocated.
+	producer, consumer := b.NewHandle(), b.NewHandle()
+	ring := make(chan uint64, 256)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20000; i++ {
+			if off, ok := producer.Alloc(256); ok {
+				ring <- off
+			}
+		}
+		close(ring)
+	}()
+	go func() {
+		defer wg.Done()
+		for off := range ring {
+			consumer.Free(off)
+		}
+	}()
+	wg.Wait()
+
+	ds, ok := b.DepotStats()
+	if !ok {
+		t.Fatal("DepotStats not available on a WithDepot stack")
+	}
+	if ds.FullPushes == 0 || ds.FullPops == 0 {
+		t.Fatalf("depot exchanged no magazines: %+v", ds)
+	}
+	if !b.Scrub() {
+		t.Fatal("non-blocking leaves should scrub")
+	}
+	layers := b.LayerStats()
+	if layers[0].Layer != "depot" {
+		t.Fatalf("top layer = %q, want depot", layers[0].Layer)
+	}
+	if layers[0].Extra["depot_retained_chunks"] != 0 {
+		t.Fatalf("depot retained %d chunks after Scrub", layers[0].Extra["depot_retained_chunks"])
+	}
+	back := layers[2].Stats
+	if back.Allocs != back.Frees {
+		t.Fatalf("back-end leaked: %d allocs vs %d frees", back.Allocs, back.Frees)
+	}
+}
+
 // TestTraceLayer records every handle operation through a composed stack
 // (replay itself is covered by the trace package's own tests).
 func TestTraceLayer(t *testing.T) {
