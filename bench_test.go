@@ -516,3 +516,62 @@ func BenchmarkAblationFragmentation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLevelScan isolates the NBALLOC level-scan cost the packed
+// status words target, away from the full drivers: a single worker
+// ping-pongs one min-class chunk over three pre-planted landscapes.
+// "empty" is the best case (the first probed word has a free lane);
+// "checkerboard" plants long-lived chunks with one hole per 16, so the
+// rotating scatter start walks ~8 occupied statuses per allocation; and
+// "near-full" leaves one hole per 64, walking ~32. The occupied-run
+// traversal is where the SWAR pass replaces one atomic load per node
+// with one per eight nodes.
+func BenchmarkLevelScan(b *testing.B) {
+	cfg := alloc.Config{Total: 1 << 22, MinSize: 8, MaxSize: 16 << 10}
+	const size = 64
+	landscapes := []struct {
+		name      string
+		holeEvery int // plant chunks, then free every holeEvery-th (0 = plant nothing)
+	}{
+		{"empty", 0},
+		{"checkerboard", 16},
+		{"near-full", 64},
+	}
+	for _, land := range landscapes {
+		for _, variant := range []string{"1lvl-nb", "4lvl-nb"} {
+			b.Run(fmt.Sprintf("%s/%s", land.name, variant), func(b *testing.B) {
+				a := build(b, variant, cfg)
+				planter := a.NewHandle()
+				var keep []uint64
+				if land.holeEvery > 0 {
+					var planted []uint64
+					for {
+						off, ok := planter.Alloc(size)
+						if !ok {
+							break
+						}
+						planted = append(planted, off)
+					}
+					for i, off := range planted {
+						if i%land.holeEvery == 0 {
+							planter.Free(off)
+						} else {
+							keep = append(keep, off)
+						}
+					}
+				}
+				h := a.NewHandle()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if off, ok := h.Alloc(size); ok {
+						h.Free(off)
+					}
+				}
+				b.StopTimer()
+				for _, off := range keep {
+					planter.Free(off)
+				}
+			})
+		}
+	}
+}

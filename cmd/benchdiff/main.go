@@ -1,0 +1,56 @@
+// Command benchdiff compares two nbbsbench -json reports cell by cell and
+// prints the per-cell throughput deltas — the tool the CI bench-trajectory
+// job uses to relate a fresh measurement to the committed BENCH_pr*.json
+// baseline of the previous PR.
+//
+// Examples:
+//
+//	benchdiff -baseline BENCH_pr3.json -fresh bench-ci.json
+//	benchdiff -baseline BENCH_pr3.json -fresh bench-ci.json -md >> "$GITHUB_STEP_SUMMARY"
+//
+// The exit status is always 0 when both files parse: trajectory deltas
+// are informational (CI boxes differ run to run), the job summary is
+// where a human reads them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "", "committed baseline report (BENCH_pr*.json)")
+		fresh    = flag.String("fresh", "", "freshly measured report (nbbsbench -json output)")
+		markdown = flag.Bool("md", false, "emit a GitHub-flavoured markdown table")
+	)
+	flag.Parse()
+	if *baseline == "" || *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: both -baseline and -fresh are required")
+		os.Exit(2)
+	}
+	base, err := harness.LoadReport(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	fr, err := harness.LoadReport(*fresh)
+	if err != nil {
+		fatal(err)
+	}
+	baseLabel, freshLabel := base.Label, fr.Label
+	if baseLabel == "" {
+		baseLabel = *baseline
+	}
+	if freshLabel == "" {
+		freshLabel = *fresh
+	}
+	harness.WriteDiff(os.Stdout, baseLabel, freshLabel, harness.DiffReports(base, fr), *markdown)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

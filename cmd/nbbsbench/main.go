@@ -13,12 +13,16 @@
 //	nbbsbench -workload constant-occupancy -scale 1 -reps 3   # paper volume
 //	nbbsbench -workload remote-free -alloc cached+multi4+4lvl-nb,depot+multi4+4lvl-nb \
 //	    -json -label pr2 > BENCH_pr2.json
+//	nbbsbench -workload frag -alloc 4lvl-nb -threads 8 -cpuprofile cpu.prof \
+//	    && go tool pprof -top cpu.prof   # diagnose a hot-path regression
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/alloc"
@@ -35,7 +39,7 @@ import (
 
 func main() {
 	var (
-		workloadName = flag.String("workload", "linux-scalability", "comma-separated workloads: linux-scalability | thread-test | larson | constant-occupancy | remote-free")
+		workloadName = flag.String("workload", "linux-scalability", "comma-separated workloads: linux-scalability | thread-test | larson | constant-occupancy | remote-free | frag")
 		allocators   = flag.String("alloc", strings.Join(harness.AllocatorsUserSpace, ","), "comma-separated allocator variants")
 		threads      = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
 		sizes        = flag.String("sizes", "8,128,1024", "comma-separated request sizes in bytes")
@@ -51,13 +55,45 @@ func main() {
 		label        = flag.String("label", "", "label recorded in the JSON report (e.g. pr2)")
 		kops         = flag.Bool("kops", false, "report KOps/s instead of seconds")
 		quiet        = flag.Bool("q", false, "suppress per-cell progress lines")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	)
 	flag.Parse()
+
+	// Profiling hooks: hot-path regressions are diagnosable straight from
+	// the harness (`nbbsbench ... -cpuprofile cpu.pb.gz` then
+	// `go tool pprof`), no editing required. The profile spans the whole
+	// sweep, so profile one cell (one workload/alloc/thread/size) for a
+	// clean attribution.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	workloads := strings.Split(*workloadName, ",")
 	for _, w := range workloads {
 		if _, ok := workload.Drivers[w]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown workload %q; valid: linux-scalability, thread-test, larson, constant-occupancy, remote-free\n", w)
+			fmt.Fprintf(os.Stderr, "unknown workload %q; valid: linux-scalability, thread-test, larson, constant-occupancy, remote-free, frag\n", w)
 			os.Exit(2)
 		}
 	}

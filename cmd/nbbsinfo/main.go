@@ -69,7 +69,7 @@ func main() {
 	}
 
 	// Metadata footprints.
-	flatBytes := geo.Nodes() * 4 // one uint32 status word per node
+	flatBytes := geo.StatusWords() * 8 // one status byte per node, word-packed
 	var words uint64
 	for _, lvl := range geo.LeafLevels() {
 		words += geometry.WordsAtLevel(lvl)
@@ -77,7 +77,7 @@ func main() {
 	bunchBytes := words * 8
 	indexBytes := geo.Leaves() * 4
 	fmt.Printf("\nmetadata footprint:\n")
-	fmt.Printf("  1lvl tree[] : %12d bytes (%.2f%% of managed memory)\n", flatBytes, pct(flatBytes, geo.Total))
+	fmt.Printf("  1lvl tree[] : %12d bytes (%.2f%% of managed memory, %d words)\n", flatBytes, pct(flatBytes, geo.Total), geo.StatusWords())
 	fmt.Printf("  4lvl bunches: %12d bytes (%.2f%% of managed memory, %d words)\n", bunchBytes, pct(bunchBytes, geo.Total), words)
 	fmt.Printf("  index[]     : %12d bytes (%.2f%% of managed memory)\n", indexBytes, pct(indexBytes, geo.Total))
 

@@ -96,9 +96,42 @@ func differentialSequence(t *testing.T, a alloc.Allocator, seed int64, total, mi
 			h.Free(c.off)
 		case op < 7: // batched alloc through the bulk contract
 			size := uint64(1) << (3 + rng.Intn(8)) // 8..1024
-			n := 1 + rng.Intn(48)
-			for _, off := range alloc.HandleAllocBatch(h, size, n) {
+			// Half the batches use sizes 7/8/9 — one lane short of a packed
+			// status word, exactly one word, and one lane past it — so the
+			// bulk scan's word-aligned rover is exercised mid-word, on the
+			// boundary, and straddling it.
+			var n int
+			switch rng.Intn(6) {
+			case 0:
+				n = 7
+			case 1:
+				n = 8
+			case 2:
+				n = 9
+			default:
+				n = 1 + rng.Intn(48)
+			}
+			offs := alloc.HandleAllocBatch(h, size, n)
+			for _, off := range offs {
 				admit(step, off, size, "AllocBatch")
+			}
+			// Scrub right after a word-straddling batch: the rebuild writes
+			// whole packed words from the oracle-visible live set, so any
+			// stray bit the batch left in a neighbouring lane of its tail
+			// word would surface as a ChunkSize or occupancy divergence on
+			// the very next operations.
+			if len(offs) > 0 && n <= 9 && rng.Intn(2) == 0 {
+				if s, ok := a.(alloc.Scrubber); ok {
+					s.Scrub()
+					for _, c := range live {
+						if cs, ok := a.(alloc.ChunkSizer); ok {
+							if got := cs.ChunkSize(c.off); got != c.reserved {
+								t.Fatalf("seed %d step %d: after word-boundary Scrub, ChunkSize(%#x) = %d, want %d",
+									seed, step, c.off, got, c.reserved)
+							}
+						}
+					}
+				}
 			}
 		case op < 8 && len(live) > 1: // batched free through the bulk contract
 			n := 1 + rng.Intn(len(live))

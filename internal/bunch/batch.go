@@ -27,6 +27,16 @@ func (h *Handle) AllocBatch(size uint64, n int) []uint64 {
 	end := base << 1
 	h.seq++
 	start := base + h.scatterSlot(level)
+	// Advance in word units: snap the bulk scan's start to the first node
+	// of its bunch word so every loaded word is consumed from its first
+	// in-level field (see the identical alignment in internal/core). A
+	// node at this level covers count fields, so a word carries
+	// 8/count nodes of the level.
+	if _, field, count, _ := h.a.nodeWord(start); field != 0 {
+		if aligned := start - uint64(field/count); aligned >= base {
+			start = aligned
+		}
+	}
 
 	for pass := 0; pass < 2 && len(out) < n; pass++ {
 		lo, hi := start, end
@@ -36,24 +46,31 @@ func (h *Handle) AllocBatch(size uint64, n int) []uint64 {
 		i := lo
 		for i < hi && len(out) < n {
 			word, field, count, _ := h.a.nodeWord(i)
-			if word.Load()&status.Fill(field, count, status.Busy) != 0 {
-				i++
+			w := word.Load()
+			f := status.FirstFreeRun(w, field, count)
+			if f == status.LanesPerWord {
+				i += uint64((status.LanesPerWord - field) / count)
 				continue
 			}
-			failedAt := h.tryAlloc(i)
+			cand := i + uint64((f-field)/count)
+			if cand >= hi {
+				i = hi
+				continue
+			}
+			failedAt := h.tryAlloc(cand, w)
 			if failedAt == 0 {
-				offset := geo.OffsetOf(i)
-				h.a.index[geo.UnitIndex(offset)].Store(uint32(i))
+				offset := geo.OffsetOf(cand)
+				h.a.index[geo.UnitIndex(offset)].Store(uint32(cand))
 				h.stats.Allocs++
 				out = append(out, offset)
-				i++
+				i = cand + 1
 				continue
 			}
 			h.stats.Retries++
 			d := uint64(1) << uint(level-geometry.LevelOf(failedAt))
 			next := (failedAt + 1) * d
-			if next <= i {
-				next = i + 1
+			if next <= cand {
+				next = cand + 1
 			}
 			i = next
 		}

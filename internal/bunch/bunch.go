@@ -4,13 +4,15 @@
 // on a climb by a factor of four.
 //
 // Only the deepest level of each 4-level group — the bunch leaves — is
-// materialized: 8 leaves × 5 status bits occupy the low 40 bits of one
-// word. The state of the 7 interior nodes of a bunch is derived from its
-// leaves: partial occupancy is the OR of the children's occupancy, full
-// occupancy the AND, and coalescing the OR of the children's coalescing
-// bits (paper Figure 6). Bunch-leaf levels are aligned to the bottom of
-// the tree, so tree leaves are always materialized and the topmost bunch
-// may be partial.
+// materialized: 8 leaves × one status byte fill one word exactly (the
+// paper packs 5-bit fields into 40 bits; we spend the spare 3 bits per
+// leaf to put every field on a byte boundary, which buys the SWAR level
+// scan below). The state of the 7 interior nodes of a bunch is derived
+// from its leaves: partial occupancy is the OR of the children's
+// occupancy, full occupancy the AND, and coalescing the OR of the
+// children's coalescing bits (paper Figure 6). Bunch-leaf levels are
+// aligned to the bottom of the tree, so tree leaves are always
+// materialized and the topmost bunch may be partial.
 //
 // The algorithms are the same three-phase NBAlloc/NBFree of internal/core
 // with two systematic changes:
@@ -21,6 +23,11 @@
 //     RMW), and the per-level buddy checks the 1-level algorithm performs
 //     in between are answered by deriving the intermediate state from the
 //     already-witnessed word, costing no extra atomic instruction.
+//
+// The level scan is a SWAR pass: one atomic load of a bunch word answers
+// all the nodes the word covers at the scanned level (eight at the
+// materialized levels, fewer above them), with status.FirstFreeRun
+// locating the first free candidate by bit tricks.
 package bunch
 
 import (
@@ -204,26 +211,35 @@ func (h *Handle) Alloc(size uint64) (uint64, bool) {
 			lo, hi = base, start
 		}
 		for i := lo; i < hi; {
+			// Probe a whole bunch word at once with the busy mask only, as
+			// the 1-level IsFree does: transient coalescing bits do not
+			// disqualify a node (the reservation CAS inside tryAlloc still
+			// requires them clear). FirstFreeRun yields the first candidate
+			// among the 8/count nodes the word covers at this level.
 			word, field, count, _ := h.a.nodeWord(i)
-			// Probe with the busy mask only, as the 1-level IsFree does:
-			// transient coalescing bits do not disqualify a node here (the
-			// reservation CAS inside tryAlloc still requires them clear).
-			if word.Load()&status.Fill(field, count, status.Busy) != 0 {
-				i++
+			w := word.Load()
+			f := status.FirstFreeRun(w, field, count)
+			if f == status.LanesPerWord {
+				i += uint64((status.LanesPerWord - field) / count) // next word's first node
 				continue
 			}
-			failedAt := h.tryAlloc(i)
+			cand := i + uint64((f-field)/count)
+			if cand >= hi {
+				i = hi
+				continue
+			}
+			failedAt := h.tryAlloc(cand, w)
 			if failedAt == 0 {
-				offset := geo.OffsetOf(i)
-				h.a.index[geo.UnitIndex(offset)].Store(uint32(i))
+				offset := geo.OffsetOf(cand)
+				h.a.index[geo.UnitIndex(offset)].Store(uint32(cand))
 				h.stats.Allocs++
 				return offset, true
 			}
 			h.stats.Retries++
 			d := uint64(1) << uint(level-geometry.LevelOf(failedAt))
 			next := (failedAt + 1) * d
-			if next <= i {
-				next = i + 1
+			if next <= cand {
+				next = cand + 1
 			}
 			i = next
 		}
@@ -234,8 +250,10 @@ func (h *Handle) Alloc(size uint64) (uint64, bool) {
 
 // tryAlloc reserves node n and propagates partial occupancy to the max
 // level in 4-level steps. It returns 0 on success or the index of the
-// conflicting node, after rolling back its own updates.
-func (h *Handle) tryAlloc(n uint64) uint64 {
+// conflicting node, after rolling back its own updates. scanned is the
+// caller's already-loaded value of n's word, seeding the first
+// reservation attempt so the hot path issues no redundant atomic load.
+func (h *Handle) tryAlloc(n, scanned uint64) uint64 {
 	geo := h.a.geo
 	nLevel := geometry.LevelOf(n)
 	word, field, count, leafLevel := h.a.nodeWord(n)
@@ -245,8 +263,7 @@ func (h *Handle) tryAlloc(n uint64) uint64 {
 	// reservation); a CAS lost purely to traffic on sibling fields of the
 	// word is retried, since the covered fields are re-validated.
 	occupyMask := status.Fill(field, count, status.Busy)
-	for {
-		w := word.Load()
+	for w := scanned; ; w = word.Load() {
 		if w&status.Fill(field, count, status.Mask) != 0 {
 			return n
 		}
@@ -323,14 +340,23 @@ func (h *Handle) freeNode(n uint64, ubLam int) {
 		anc := geometry.AncestorAt(n, nLevel, lam)
 		child := geometry.AncestorAt(n, nLevel, lam+1)
 		ancWord, ancField := h.a.wordOf(anc, lam)
-		coal := status.CoalBit(child)
+		// Setting one coalescing bit would be a natural atomic Or — but
+		// the value-returning atomic.Uint64.Or/And intrinsics miscompile
+		// this climb shape on go1.24.0/amd64 (a register holding a live
+		// pointer gets clobbered; reproduced standalone), so the mark
+		// stays a CAS loop. Skipping the RMW when the bit is already set
+		// is safe: the loaded word is then exactly the witness an Or would
+		// have returned.
+		coal := status.ShiftToLane(status.CoalBit(child), ancField)
 		var witnessed uint64
 		for {
 			w := ancWord.Load()
 			witnessed = w
-			f := status.Field(w, ancField)
+			if w&coal != 0 {
+				break
+			}
 			h.stats.RMW++
-			if ancWord.CompareAndSwap(w, status.WithField(w, ancField, f|coal)) {
+			if ancWord.CompareAndSwap(w, w|coal) {
 				break
 			}
 			h.stats.CASFail++
@@ -346,7 +372,8 @@ func (h *Handle) freeNode(n uint64, ubLam int) {
 
 	// Phase 2: release n itself by clearing all its covered fields. A CAS
 	// loop (rather than the 1-level plain store) tolerates concurrent
-	// traffic on sibling fields of the word.
+	// traffic on sibling fields of the word. (An atomic And would do it
+	// in one guaranteed RMW, but see the intrinsic caveat in phase 1.)
 	clearMask := status.FieldMask(field, count)
 	var afterRelease uint64
 	for {

@@ -17,13 +17,13 @@ func TestTryAllocRollback(t *testing.T) {
 	if !ok || half != 0 {
 		t.Fatalf("half alloc = (%d,%v), want (0,true)", half, ok)
 	}
-	if !status.IsOcc(a.tree[2].Load()) {
+	if !status.IsOcc(a.rawStatus(2)) {
 		t.Fatal("node 2 not OCC after the 512-byte allocation")
 	}
 	// Leaves under node 2 still look free: occupancy is not propagated
 	// downward (paper §III.A), so the scan will pick leaf 128 and the
 	// climb must abort on node 2.
-	if !status.IsFree(a.tree[128].Load()) {
+	if !status.IsFree(a.rawStatus(128)) {
 		t.Fatal("leaf under an occupied ancestor should look free")
 	}
 	small, ok := h.Alloc(8)
@@ -38,7 +38,7 @@ func TestTryAllocRollback(t *testing.T) {
 	}
 	// The aborted climb's path under node 2 must be fully rolled back.
 	for _, n := range []uint64{128, 64, 32, 16, 8, 4} {
-		if v := a.tree[n].Load(); v != 0 {
+		if v := a.rawStatus(n); v != 0 {
 			t.Fatalf("node %d left dirty after rollback: %s", n, status.String(v))
 		}
 	}
@@ -80,8 +80,8 @@ func TestCoalescingBitBlocksReservation(t *testing.T) {
 	h := a.newHandle()
 	// Plant a transient coalescing bit on node 2 (as a racing release
 	// would between its phase 1 and its unmark).
-	a.tree[2].Store(status.CoalLeft)
-	if !status.IsFree(a.tree[2].Load()) {
+	a.setRawStatus(2, status.CoalLeft)
+	if !status.IsFree(a.rawStatus(2)) {
 		t.Fatal("coal-only node must still be IsFree")
 	}
 	off, ok := h.Alloc(512)
@@ -92,7 +92,7 @@ func TestCoalescingBitBlocksReservation(t *testing.T) {
 		t.Fatalf("alloc took the coalescing-marked node (offset %d), want the sibling at 512", off)
 	}
 	h.Free(off)
-	a.tree[2].Store(0)
+	a.setRawStatus(2, 0)
 }
 
 // TestFreeClimbStopsAtOccupiedBuddy verifies the release climb arrests at
@@ -111,14 +111,14 @@ func TestFreeClimbStopsAtOccupiedBuddy(t *testing.T) {
 	}
 	h.Free(left)
 	// The root must still show the right branch occupied.
-	rootVal := a.tree[1].Load()
+	rootVal := a.rawStatus(1)
 	occRight := status.IsOccBuddy(rootVal, 2) // buddy of node 2 = node 3
 	occLeftGone := !status.IsOccBuddy(rootVal, 3)
 	if !occRight || !occLeftGone {
 		t.Fatalf("root = %s after freeing the left half", status.String(rootVal))
 	}
 	h.Free(right)
-	if v := a.tree[1].Load(); v != 0 {
+	if v := a.rawStatus(1); v != 0 {
 		t.Fatalf("root = %s after freeing both halves", status.String(v))
 	}
 }

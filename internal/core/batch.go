@@ -6,11 +6,12 @@ import (
 )
 
 // This file implements the alloc.BatchAllocator contract natively: a bulk
-// allocation collects the whole batch in the same two-pass level scan that
-// a single Alloc uses for one node. A chunk-at-a-time loop restarts the
-// scan at a fresh scatter slot per call and re-walks the occupied runs it
-// already skipped; the batched scan keeps its position, so the probing
-// cost of the batch is one traversal of the level regardless of n.
+// allocation collects the whole batch in the same two-pass SWAR level
+// scan that a single Alloc uses for one node. A chunk-at-a-time loop
+// restarts the scan at a fresh scatter slot per call and re-walks the
+// occupied runs it already skipped; the batched scan keeps its position,
+// so the probing cost of the batch is one traversal of the level
+// regardless of n.
 
 // AllocBatch reserves up to n chunks of at least size bytes in one level
 // scan and appends their offsets to the returned slice. A short (possibly
@@ -32,6 +33,14 @@ func (h *Handle) AllocBatch(size uint64, n int) []uint64 {
 	end := base << 1
 	h.seq++
 	start := base + h.scatterSlot(level)
+	// The bulk scan advances in word units: snapping the start down to a
+	// packed-word boundary makes every loaded word get consumed from its
+	// first in-level lane, so consecutive batches walk whole words instead
+	// of re-loading a word for a partial tail. Levels narrower than a word
+	// keep their scatter slot (their whole width shares word 0 anyway).
+	if aligned := start &^ 7; aligned >= base {
+		start = aligned
+	}
 
 	for pass := 0; pass < 2 && len(out) < n; pass++ {
 		lo, hi := start, end
@@ -40,24 +49,27 @@ func (h *Handle) AllocBatch(size uint64, n int) []uint64 {
 		}
 		i := lo
 		for i < hi && len(out) < n {
-			if !status.IsFree(h.a.tree[i].Load()) {
-				i++
+			w := h.a.tree[geometry.WordIndex(i)].Load()
+			lane := status.FirstFreeLane(w, geometry.LaneOf(i))
+			cand := i&^7 + uint64(lane)
+			if lane == status.LanesPerWord || cand >= hi {
+				i = cand
 				continue
 			}
-			failedAt := h.tryAlloc(i)
+			failedAt := h.tryAlloc(cand, w)
 			if failedAt == 0 {
-				offset := geo.OffsetOf(i)
-				h.a.index[geo.UnitIndex(offset)].Store(uint32(i))
+				offset := geo.OffsetOf(cand)
+				h.a.index[geo.UnitIndex(offset)].Store(uint32(cand))
 				h.stats.Allocs++
 				out = append(out, offset)
-				i++
+				i = cand + 1
 				continue
 			}
 			h.stats.Retries++
 			d := uint64(1) << uint(level-geometry.LevelOf(failedAt))
 			next := (failedAt + 1) * d
-			if next <= i {
-				next = i + 1
+			if next <= cand {
+				next = cand + 1
 			}
 			i = next
 		}
@@ -65,9 +77,10 @@ func (h *Handle) AllocBatch(size uint64, n int) []uint64 {
 			i = hi // a subtree skip may overshoot the pass bound
 		}
 		// Advance the scatter sequence past everything this pass walked,
-		// so the next batch resumes where this scan stopped. The
-		// single-alloc +1 rotation assumes one consumed slot per call; a
-		// batch that delivered a whole run would otherwise restart the
+		// so the next batch resumes where this scan stopped (and, after
+		// the start realignment above, on the word this scan stopped in).
+		// The single-alloc +1 rotation assumes one consumed slot per call;
+		// a batch that delivered a whole run would otherwise restart the
 		// next call inside its own still-live delivery and re-probe it
 		// end to end (quadratic in the live-run length).
 		h.seq += i - lo

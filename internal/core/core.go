@@ -3,12 +3,23 @@
 // label "1lvl-nb").
 //
 // State is a static complete binary tree stored in an array with the root
-// at index 1. Every node carries five status bits (see internal/status);
-// every mutation is a single-word CAS, and an operation that loses a CAS
-// race either retries the same climb step (when the update remains
-// coherent) or aborts and moves to another node (when a conflicting
+// at index 1. Every node carries five status bits (see internal/status),
+// packed one byte per node into 64-bit atomic words: node n's byte is
+// lane n&7 of tree[n>>3]. Every mutation is a single-word CAS on the
+// containing word that rewrites only the node's lane; an operation that
+// loses a CAS race either retries the same climb step (when the update
+// remains coherent — including a loss purely to traffic on sibling lanes
+// of the word) or aborts and moves to another node (when a conflicting
 // allocation reserved the chunk). No thread ever blocks another: the
 // algorithm is lock-free (paper appendix, Theorem A.1).
+//
+// The packed layout exists for the NBALLOC level scan: one atomic 64-bit
+// load yields eight node statuses and a SWAR free-byte trick finds the
+// first free candidate, so scanning an occupied run costs one load per
+// eight nodes instead of one per node (see status.FirstFreeLane). The
+// array-embedded heap shape keeps every level word-pure: levels of width
+// >= 8 start on word boundaries, narrower ones share word 0 (see
+// internal/geometry/words.go).
 package core
 
 import (
@@ -30,9 +41,11 @@ func init() {
 // Allocator is a single non-blocking buddy-system instance.
 type Allocator struct {
 	geo geometry.Geometry
-	// tree holds the five status bits of node n at tree[n]; index 0 is
-	// unused so node arithmetic matches the paper (root at 1).
-	tree []atomic.Uint32
+	// tree holds the packed status bytes: node n's five status bits live
+	// in lane geometry.LaneOf(n) of tree[geometry.WordIndex(n)]. Lane 0 of
+	// word 0 is the unused node index 0, so node arithmetic matches the
+	// paper (root at 1).
+	tree []atomic.Uint64
 	// index maps allocation-unit slots (offset/MinSize) to the tree node
 	// that served the allocation starting there; 0 means "not delivered",
 	// which is what makes double frees detectable.
@@ -76,7 +89,7 @@ func NewWithGeometry(geo geometry.Geometry, opts ...Option) *Allocator {
 	}
 	a := &Allocator{
 		geo:     geo,
-		tree:    make([]atomic.Uint32, geo.Nodes()),
+		tree:    make([]atomic.Uint64, geo.StatusWords()),
 		index:   make([]atomic.Uint32, geo.Leaves()),
 		scatter: true,
 	}
@@ -85,6 +98,31 @@ func NewWithGeometry(geo geometry.Geometry, opts ...Option) *Allocator {
 	}
 	a.pool.New = func() any { return a.NewHandle() }
 	return a
+}
+
+// statusWord returns the packed word holding node n's status byte and
+// n's lane within it.
+func (a *Allocator) statusWord(n uint64) (*atomic.Uint64, int) {
+	return &a.tree[geometry.WordIndex(n)], geometry.LaneOf(n)
+}
+
+// rawStatus returns node n's status byte — the single-node view of the
+// packed tree used by tests and quiescent diagnostics.
+func (a *Allocator) rawStatus(n uint64) uint32 {
+	w, lane := a.statusWord(n)
+	return status.Field(w.Load(), lane)
+}
+
+// setRawStatus overwrites node n's status byte, preserving sibling lanes.
+// Quiescent use only (Scrub, tests).
+func (a *Allocator) setRawStatus(n uint64, val uint32) {
+	w, lane := a.statusWord(n)
+	for {
+		cur := w.Load()
+		if w.CompareAndSwap(cur, status.WithField(cur, lane, val)) {
+			return
+		}
+	}
 }
 
 // Name implements alloc.Allocator.
@@ -165,6 +203,10 @@ func (h *Handle) scatterSlot(level int) uint64 {
 // to reserve it with TryAlloc; when TryAlloc fails because of an occupied
 // ancestor it skips the whole subtree of the conflicting node (lines
 // A18-A19) before probing further.
+//
+// The scan is a SWAR pass over the packed words: each loaded word answers
+// eight nodes at once, with status.FirstFreeLane locating the first free
+// candidate in the word and the subtree-skip arithmetic layered on top.
 func (h *Handle) Alloc(size uint64) (uint64, bool) {
 	geo := h.a.geo
 	if size > geo.MaxSize {
@@ -185,14 +227,19 @@ func (h *Handle) Alloc(size uint64) (uint64, bool) {
 			lo, hi = base, start
 		}
 		for i := lo; i < hi; {
-			if !status.IsFree(h.a.tree[i].Load()) {
-				i++
+			w := h.a.tree[geometry.WordIndex(i)].Load()
+			lane := status.FirstFreeLane(w, geometry.LaneOf(i))
+			cand := i&^7 + uint64(lane)
+			if lane == status.LanesPerWord || cand >= hi {
+				// No candidate left in this word (cand is then the next
+				// word's start) or the first one is past the pass bound.
+				i = cand
 				continue
 			}
-			failedAt := h.tryAlloc(i)
+			failedAt := h.tryAlloc(cand, w)
 			if failedAt == 0 {
-				offset := geo.OffsetOf(i)
-				h.a.index[geo.UnitIndex(offset)].Store(uint32(i))
+				offset := geo.OffsetOf(cand)
+				h.a.index[geo.UnitIndex(offset)].Store(uint32(cand))
 				h.stats.Allocs++
 				return offset, true
 			}
@@ -202,8 +249,8 @@ func (h *Handle) Alloc(size uint64) (uint64, bool) {
 			h.stats.Retries++
 			d := uint64(1) << uint(level-geometry.LevelOf(failedAt))
 			next := (failedAt + 1) * d
-			if next <= i {
-				next = i + 1
+			if next <= cand {
+				next = cand + 1
 			}
 			i = next
 		}
@@ -213,39 +260,55 @@ func (h *Handle) Alloc(size uint64) (uint64, bool) {
 }
 
 // tryAlloc is the paper's TRYALLOC (Algorithm 2). It reserves node n with
-// a CAS from the all-clear state to BUSY, then climbs to the max level
-// marking each ancestor's branch as occupied (and clearing its coalescing
-// bit, so racing releases notice the branch was reused). It returns 0 on
-// success or the index of the node that made the allocation fail; in the
-// failure case all updates performed by the climb are rolled back through
-// freeNode before returning.
-func (h *Handle) tryAlloc(n uint64) uint64 {
-	h.stats.RMW++
-	if !h.a.tree[n].CompareAndSwap(0, status.Busy) {
+// a CAS of its lane from the all-clear state to BUSY, then climbs to the
+// max level marking each ancestor's branch as occupied (and clearing its
+// coalescing bit, so racing releases notice the branch was reused). It
+// returns 0 on success or the index of the node that made the allocation
+// fail; in the failure case all updates performed by the climb are rolled
+// back through freeNode before returning.
+//
+// A CAS lost purely to traffic on sibling lanes of the containing word is
+// retried after re-reading, since the node's own lane is re-validated
+// each attempt — the step stays coherent exactly as in the unpacked
+// algorithm. scanned is the caller's already-loaded value of n's word,
+// seeding the first reservation attempt so the hot path issues no
+// redundant atomic load.
+func (h *Handle) tryAlloc(n, scanned uint64) uint64 {
+	word, lane := h.a.statusWord(n)
+	for w := scanned; ; w = word.Load() {
+		if status.Field(w, lane) != 0 {
+			// Not exactly clear: occupied, or a pending coalescing bit —
+			// both fail the reservation, as the 1-word CAS(0, BUSY) did.
+			return n
+		}
+		h.stats.RMW++
+		if word.CompareAndSwap(w, status.WithField(w, lane, status.Busy)) {
+			break
+		}
 		h.stats.CASFail++
-		return n
 	}
 	maxLevel := h.a.geo.MaxLevel
 	current := n
 	for geometry.LevelOf(current) > maxLevel {
 		child := current
 		current = geometry.Parent(current)
+		ancWord, ancLane := h.a.statusWord(current)
 		for {
-			curVal := h.a.tree[current].Load()
-			if status.IsOcc(curVal) {
+			w := ancWord.Load()
+			if status.OccLane(w, ancLane) {
 				// An ancestor is fully reserved by another allocation:
 				// this chunk cannot be fragmented. Roll back what the
 				// climb marked so far and report the conflict point.
 				h.freeNode(n, geometry.LevelOf(child))
 				return current
 			}
-			newVal := status.Mark(status.CleanCoal(curVal, child), child)
 			h.stats.RMW++
-			if h.a.tree[current].CompareAndSwap(curVal, newVal) {
+			if ancWord.CompareAndSwap(w, status.MarkLane(w, ancLane, child)) {
 				break
 			}
-			// A concurrent operation changed this node's other bits; the
-			// marking is still coherent, so re-read and retry the step.
+			// A concurrent operation changed this node's other bits or a
+			// sibling lane; the marking is still coherent, so re-read and
+			// retry the step.
 			h.stats.CASFail++
 		}
 	}
@@ -277,26 +340,39 @@ func (h *Handle) Free(offset uint64) {
 // Phase 1 marks the climb path as coalescing so racing operations know a
 // release is in flight; it stops early at a node whose other branch is
 // occupied (and not itself coalescing), because the merge cannot proceed
-// past a fragmented buddy. Phase 2 clears the released node in one store.
-// Phase 3 (unmark) walks the same path clearing the coalescing and
-// occupancy bits, unless a racing allocation already reused the branch.
+// past a fragmented buddy. Phase 2 clears the released node's lane — the
+// unpacked algorithm's plain store becomes a sub-word CAS loop because
+// sibling lanes of the word may be mutating concurrently and must not be
+// clobbered. Phase 3 (unmark) walks the same path clearing the coalescing
+// and occupancy bits, unless a racing allocation already reused the
+// branch.
 func (h *Handle) freeNode(n uint64, upperBound int) {
-	// Phase 1: flag the path as coalescing (lines F2-F18).
+	// Phase 1: flag the path as coalescing (lines F2-F18). Setting one
+	// bit would be a natural atomic Or — but the value-returning
+	// atomic.Uint64.Or/And intrinsics miscompile this climb shape on
+	// go1.24.0/amd64 (a register holding a live pointer gets clobbered;
+	// reproduced standalone), so the mark stays a CAS loop. Skipping the
+	// RMW when the bit is already set is safe: the loaded word is then
+	// exactly the witness an Or would have returned.
 	runner := n
 	current := geometry.Parent(n)
 	for geometry.LevelOf(runner) > upperBound {
-		orVal := status.CoalBit(runner)
-		var witnessed uint32
+		ancWord, ancLane := h.a.statusWord(current)
+		coal := status.ShiftToLane(status.CoalBit(runner), ancLane)
+		var witnessed uint64
 		for {
-			curVal := h.a.tree[current].Load()
-			witnessed = curVal
+			w := ancWord.Load()
+			witnessed = w
+			if w&coal != 0 {
+				break
+			}
 			h.stats.RMW++
-			if h.a.tree[current].CompareAndSwap(curVal, curVal|orVal) {
+			if ancWord.CompareAndSwap(w, w|coal) {
 				break
 			}
 			h.stats.CASFail++
 		}
-		if status.IsOccBuddy(witnessed, runner) && !status.IsCoalBuddy(witnessed, runner) {
+		if status.OccBuddyLane(witnessed, ancLane, runner) && !status.CoalBuddyLane(witnessed, ancLane, runner) {
 			// The buddy subtree is occupied: the release cannot merge past
 			// this node, so the climb is arrested here (paper Figure 4).
 			break
@@ -305,8 +381,17 @@ func (h *Handle) freeNode(n uint64, upperBound int) {
 		current = geometry.Parent(current)
 	}
 
-	// Phase 2: release the node itself (line F19).
-	h.a.tree[n].Store(0)
+	// Phase 2: release the node itself (line F19): clear just this node's
+	// lane, leaving concurrent sibling-lane updates untouched.
+	nWord, nLane := h.a.statusWord(n)
+	for {
+		w := nWord.Load()
+		h.stats.RMW++
+		if nWord.CompareAndSwap(w, status.WithField(w, nLane, 0)) {
+			break
+		}
+		h.stats.CASFail++
+	}
 
 	// Phase 3: propagate the release towards the upper bound (Algorithm 4).
 	if geometry.LevelOf(n) != upperBound {
@@ -325,20 +410,21 @@ func (h *Handle) unmark(n uint64, upperBound int) {
 	for {
 		child := current
 		current = geometry.Parent(current)
-		var newVal uint32
+		ancWord, ancLane := h.a.statusWord(current)
+		var updated uint64
 		for {
-			curVal := h.a.tree[current].Load()
-			if !status.IsCoal(curVal, child) {
+			w := ancWord.Load()
+			if !status.CoalLane(w, ancLane, child) {
 				return
 			}
-			newVal = status.Unmark(curVal, child)
+			updated = status.UnmarkLane(w, ancLane, child)
 			h.stats.RMW++
-			if h.a.tree[current].CompareAndSwap(curVal, newVal) {
+			if ancWord.CompareAndSwap(w, updated) {
 				break
 			}
 			h.stats.CASFail++
 		}
-		if geometry.LevelOf(current) <= upperBound || status.IsOccBuddy(newVal, child) {
+		if geometry.LevelOf(current) <= upperBound || status.OccBuddyLane(updated, ancLane, child) {
 			return
 		}
 	}

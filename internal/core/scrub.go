@@ -27,16 +27,16 @@ func (a *Allocator) Scrub() {
 			live = append(live, uint64(n))
 		}
 	}
-	for n := range a.tree {
-		a.tree[n].Store(0)
+	for w := range a.tree {
+		a.tree[w].Store(0)
 	}
 	maxLevel := a.geo.MaxLevel
 	for _, n := range live {
-		a.tree[n].Store(status.Busy)
+		a.setRawStatus(n, status.Busy)
 		child := n
 		for geometry.LevelOf(child) > maxLevel {
 			parent := geometry.Parent(child)
-			a.tree[parent].Store(status.Mark(a.tree[parent].Load(), child))
+			a.setRawStatus(parent, status.Mark(a.rawStatus(parent), child))
 			child = parent
 		}
 	}

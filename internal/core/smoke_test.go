@@ -83,7 +83,7 @@ func TestQuiescentTreeClean(t *testing.T) {
 		a.Free(off)
 	}
 	for n := uint64(1); n < a.geo.Nodes(); n++ {
-		if v := a.tree[n].Load(); v != 0 {
+		if v := a.rawStatus(n); v != 0 {
 			t.Fatalf("node %d (level %d) not clean after drain: %s", n, geometry.LevelOf(n), status.String(v))
 		}
 	}
@@ -133,7 +133,7 @@ func TestConcurrentNoOverlap(t *testing.T) {
 	// cleared by the owner's release, which all completed above.
 	residue := 0
 	for n := uint64(1); n < a.geo.Nodes(); n++ {
-		v := a.tree[n].Load()
+		v := a.rawStatus(n)
 		if status.IsOcc(v) {
 			t.Fatalf("node %d (level %d) still OCC after concurrent drain: %s", n, geometry.LevelOf(n), status.String(v))
 		}
@@ -148,7 +148,7 @@ func TestConcurrentNoOverlap(t *testing.T) {
 	// Scrub must restore a pristine tree on a drained instance.
 	a.Scrub()
 	for n := uint64(1); n < a.geo.Nodes(); n++ {
-		if v := a.tree[n].Load(); v != 0 {
+		if v := a.rawStatus(n); v != 0 {
 			t.Fatalf("node %d not clean after Scrub: %s", n, status.String(v))
 		}
 	}

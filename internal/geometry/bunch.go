@@ -4,11 +4,12 @@ package geometry
 //
 // Tree levels are partitioned into groups of (at most) four consecutive
 // levels called bunches. Only the deepest level of each bunch — the "bunch
-// leaves" — is materialized in memory: 8 bunch leaves × 5 status bits = 40
-// bits packed into one 64-bit word. The state of the 7 interior nodes of a
-// bunch is derived from its leaves (partial occupancy = OR of children
-// occupancy, full occupancy = AND of children occupancy), so one CAS on a
-// bunch word covers 4 tree levels.
+// leaves" — is materialized in memory: 8 bunch leaves × one status byte
+// fill one 64-bit word (the paper's 5-bit fields, widened to byte lanes
+// for the SWAR level scan — see internal/status). The state of the 7
+// interior nodes of a bunch is derived from its leaves (partial occupancy
+// = OR of children occupancy, full occupancy = AND of children
+// occupancy), so one CAS on a bunch word covers 4 tree levels.
 //
 // We align bunch-leaf levels from the BOTTOM of the tree (Depth, Depth-4,
 // Depth-8, ...), so the tree leaves — the nodes touched by minimum-size

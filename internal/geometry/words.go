@@ -1,0 +1,28 @@
+package geometry
+
+// Word layout of the byte-packed status tree (the 1-level leaf's storage):
+// node n's status byte is lane n&7 of word n>>3, so one 64-bit word holds
+// eight consecutive node statuses.
+//
+// The array-embedded heap shape makes this packing level-aligned for
+// free: level l starts at node 2^l, so every level of width >= 8 (l >= 3)
+// begins on a word boundary and spans whole words, and all narrower
+// levels (the root and levels 1-2, nodes 1..7) fit together inside word 0
+// alongside the unused index 0. No level ever straddles a word mid-level,
+// which is what lets a level scan treat each loaded word as eight
+// statuses of the SAME level without boundary cases.
+
+// StatusLanes is how many node statuses one packed word carries.
+const StatusLanes = 8
+
+// WordIndex returns the packed word holding node n's status byte.
+func WordIndex(n uint64) uint64 { return n >> 3 }
+
+// LaneOf returns node n's lane within its packed word.
+func LaneOf(n uint64) int { return int(n & 7) }
+
+// StatusWords returns the length of the packed status-word array covering
+// the whole tree (indexes 0..Nodes()-1, one byte per node).
+func (g Geometry) StatusWords() uint64 {
+	return (g.Nodes() + StatusLanes - 1) / StatusLanes
+}

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Trajectory diffing: compare a freshly measured JSON report against a
+// committed BENCH_pr*.json baseline cell by cell, so CI can print where
+// the current tree stands relative to the last recorded point. Cells are
+// paired by (workload, allocator, bytes, threads); throughput is the
+// comparison metric because it is pooled across reps and meaningful for
+// both fixed-window and fixed-volume drivers.
+
+// CellDelta is the comparison of one grid point across two reports.
+type CellDelta struct {
+	Workload  string
+	Allocator string
+	Bytes     uint64
+	Threads   int
+	// BaseOps and FreshOps are ops/sec; a side missing the cell reports 0
+	// there and In marks which sides carried it.
+	BaseOps  float64
+	FreshOps float64
+	In       string // "both", "baseline-only", "fresh-only"
+}
+
+// DeltaPct returns the fresh-over-baseline throughput change in percent;
+// it is only meaningful for cells present in both reports.
+func (d CellDelta) DeltaPct() float64 {
+	if d.BaseOps == 0 {
+		return 0
+	}
+	return (d.FreshOps - d.BaseOps) / d.BaseOps * 100
+}
+
+func cellKey(c JSONCell) string {
+	return fmt.Sprintf("%s|%s|%d|%d", c.Workload, c.Allocator, c.Bytes, c.Threads)
+}
+
+// DiffReports pairs the two reports' cells and returns the deltas in the
+// baseline's cell order, with fresh-only cells appended.
+func DiffReports(base, fresh JSONReport) []CellDelta {
+	freshBy := map[string]JSONCell{}
+	for _, c := range fresh.Cells {
+		freshBy[cellKey(c)] = c
+	}
+	var out []CellDelta
+	seen := map[string]bool{}
+	for _, b := range base.Cells {
+		k := cellKey(b)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		d := CellDelta{
+			Workload: b.Workload, Allocator: b.Allocator, Bytes: b.Bytes, Threads: b.Threads,
+			BaseOps: b.OpsPerSec, In: "baseline-only",
+		}
+		if f, ok := freshBy[k]; ok {
+			d.FreshOps = f.OpsPerSec
+			d.In = "both"
+		}
+		out = append(out, d)
+	}
+	var extra []CellDelta
+	for _, f := range fresh.Cells {
+		if !seen[cellKey(f)] {
+			seen[cellKey(f)] = true
+			extra = append(extra, CellDelta{
+				Workload: f.Workload, Allocator: f.Allocator, Bytes: f.Bytes, Threads: f.Threads,
+				FreshOps: f.OpsPerSec, In: "fresh-only",
+			})
+		}
+	}
+	sort.SliceStable(extra, func(i, j int) bool {
+		if extra[i].Workload != extra[j].Workload {
+			return extra[i].Workload < extra[j].Workload
+		}
+		if extra[i].Allocator != extra[j].Allocator {
+			return extra[i].Allocator < extra[j].Allocator
+		}
+		return extra[i].Threads < extra[j].Threads
+	})
+	return append(out, extra...)
+}
+
+// WriteDiff renders the deltas as a text or GitHub-flavoured-markdown
+// table. baseLabel and freshLabel title the value columns.
+func WriteDiff(w io.Writer, baseLabel, freshLabel string, deltas []CellDelta, markdown bool) {
+	if baseLabel == "" {
+		baseLabel = "baseline"
+	}
+	if freshLabel == "" {
+		freshLabel = "fresh"
+	}
+	if markdown {
+		fmt.Fprintf(w, "| workload | allocator | bytes | threads | %s Mops/s | %s Mops/s | delta |\n", baseLabel, freshLabel)
+		fmt.Fprintf(w, "|---|---|---:|---:|---:|---:|---:|\n")
+	} else {
+		fmt.Fprintf(w, "%-14s %-24s %7s %8s %14s %14s %9s\n",
+			"workload", "allocator", "bytes", "threads", baseLabel+" Mops/s", freshLabel+" Mops/s", "delta")
+	}
+	for _, d := range deltas {
+		delta := "new"
+		switch d.In {
+		case "both":
+			delta = fmt.Sprintf("%+.1f%%", d.DeltaPct())
+		case "baseline-only":
+			delta = "gone"
+		}
+		if markdown {
+			fmt.Fprintf(w, "| %s | %s | %d | %d | %s | %s | %s |\n",
+				d.Workload, d.Allocator, d.Bytes, d.Threads, mops(d.BaseOps), mops(d.FreshOps), delta)
+		} else {
+			fmt.Fprintf(w, "%-14s %-24s %7d %8d %14s %14s %9s\n",
+				d.Workload, d.Allocator, d.Bytes, d.Threads, mops(d.BaseOps), mops(d.FreshOps), delta)
+		}
+	}
+}
+
+func mops(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v/1e6)
+}
+
+// LoadReport reads a JSON report from disk, rejecting unknown schemas so
+// trajectory tooling fails loudly on format drift.
+func LoadReport(path string) (JSONReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return JSONReport{}, err
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return JSONReport{}, fmt.Errorf("harness: parsing %s: %w", path, err)
+	}
+	if rep.Schema != JSONSchema {
+		return JSONReport{}, fmt.Errorf("harness: %s has schema %q, want %q", path, rep.Schema, JSONSchema)
+	}
+	return rep, nil
+}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func diffFixtures() (JSONReport, JSONReport) {
+	base := JSONReport{Schema: JSONSchema, Label: "pr2", Cells: []JSONCell{
+		{Workload: "larson", Allocator: "4lvl-nb", Bytes: 128, Threads: 4, OpsPerSec: 10e6},
+		{Workload: "larson", Allocator: "4lvl-nb", Bytes: 128, Threads: 8, OpsPerSec: 20e6},
+		{Workload: "remote-free", Allocator: "4lvl-nb", Bytes: 128, Threads: 4, OpsPerSec: 5e6},
+	}}
+	fresh := JSONReport{Schema: JSONSchema, Label: "ci", Cells: []JSONCell{
+		{Workload: "larson", Allocator: "4lvl-nb", Bytes: 128, Threads: 4, OpsPerSec: 12e6},
+		{Workload: "larson", Allocator: "4lvl-nb", Bytes: 128, Threads: 8, OpsPerSec: 19e6},
+		{Workload: "frag", Allocator: "4lvl-nb", Bytes: 128, Threads: 4, OpsPerSec: 7e6},
+	}}
+	return base, fresh
+}
+
+func TestDiffReportsPairsAndClassifies(t *testing.T) {
+	base, fresh := diffFixtures()
+	deltas := DiffReports(base, fresh)
+	if len(deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4: %+v", len(deltas), deltas)
+	}
+	// Baseline order first: the two larson cells, then the baseline-only
+	// remote-free cell, then the fresh-only frag cell appended.
+	if deltas[0].In != "both" || math.Abs(deltas[0].DeltaPct()-20) > 1e-9 {
+		t.Fatalf("cell 0 = %+v, want both/+20%%", deltas[0])
+	}
+	if deltas[1].In != "both" || math.Abs(deltas[1].DeltaPct()-(-5)) > 1e-9 {
+		t.Fatalf("cell 1 = %+v, want both/-5%%", deltas[1])
+	}
+	if deltas[2].In != "baseline-only" || deltas[2].Workload != "remote-free" {
+		t.Fatalf("cell 2 = %+v, want baseline-only remote-free", deltas[2])
+	}
+	if deltas[3].In != "fresh-only" || deltas[3].Workload != "frag" {
+		t.Fatalf("cell 3 = %+v, want fresh-only frag", deltas[3])
+	}
+}
+
+func TestWriteDiffRendersBothFormats(t *testing.T) {
+	base, fresh := diffFixtures()
+	deltas := DiffReports(base, fresh)
+
+	var md strings.Builder
+	WriteDiff(&md, base.Label, fresh.Label, deltas, true)
+	out := md.String()
+	for _, want := range []string{"| workload |", "+20.0%", "-5.0%", "new", "gone", "pr2 Mops/s", "ci Mops/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown diff missing %q:\n%s", want, out)
+		}
+	}
+
+	var txt strings.Builder
+	WriteDiff(&txt, "", "", deltas, false)
+	if !strings.Contains(txt.String(), "baseline Mops/s") || strings.Contains(txt.String(), "|") {
+		t.Fatalf("text diff malformed:\n%s", txt.String())
+	}
+}

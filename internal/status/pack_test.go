@@ -15,16 +15,17 @@ func TestFieldRoundtrip(t *testing.T) {
 			t.Fatalf("Field(%d) = %#x, want %#x", j, got, j+1)
 		}
 	}
-	if w>>40 != 0 {
-		t.Fatalf("packing leaked above bit 40: %#x", w)
+	// One byte per lane: the upper three bits of every byte stay clear.
+	if w&^statMask != 0 {
+		t.Fatalf("packing leaked outside the status bits: %#x", w)
 	}
 }
 
 func TestFieldMaskAndFill(t *testing.T) {
-	if FieldMask(0, 8) != (1<<40)-1 {
+	if FieldMask(0, 8) != statMask {
 		t.Fatalf("FieldMask(0,8) = %#x", FieldMask(0, 8))
 	}
-	if Fill(2, 2, Busy) != uint64(Busy)<<10|uint64(Busy)<<15 {
+	if Fill(2, 2, Busy) != uint64(Busy)<<16|uint64(Busy)<<24 {
 		t.Fatalf("Fill(2,2,Busy) = %#x", Fill(2, 2, Busy))
 	}
 }
@@ -46,7 +47,7 @@ func TestAnyBusy(t *testing.T) {
 // Property: WithField changes exactly the targeted field.
 func TestQuickWithFieldIsolation(t *testing.T) {
 	f := func(w uint64, j uint8, val uint32) bool {
-		w &= (1 << 40) - 1
+		w &= statMask
 		jj := int(j % 8)
 		out := WithField(w, jj, val)
 		if Field(out, jj) != val&Mask {
@@ -67,7 +68,7 @@ func TestQuickWithFieldIsolation(t *testing.T) {
 // Property: AnyBusy(w, j, c) is exactly the OR of per-field busy tests.
 func TestQuickAnyBusyDefinition(t *testing.T) {
 	f := func(w uint64, j, c uint8) bool {
-		w &= (1 << 40) - 1
+		w &= statMask
 		jj := int(j % 8)
 		cc := int(c%8) + 1
 		if jj+cc > 8 {
@@ -82,6 +83,75 @@ func TestQuickAnyBusyDefinition(t *testing.T) {
 		return AnyBusy(w, jj, cc) == want
 	}
 	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// firstFreeLaneRef is the per-lane reference the SWAR form must match.
+func firstFreeLaneRef(w uint64, from int) int {
+	for j := from; j < LanesPerWord; j++ {
+		if Field(w, j)&Busy == 0 {
+			return j
+		}
+	}
+	return LanesPerWord
+}
+
+func TestFirstFreeLane(t *testing.T) {
+	cases := []struct {
+		w    uint64
+		from int
+		want int
+	}{
+		{0, 0, 0},
+		{0, 5, 5},
+		{0, 8, 8},
+		{Fill(0, 8, Busy), 0, 8},
+		{Fill(0, 3, Busy), 0, 3},
+		{Fill(0, 3, Busy), 4, 4},
+		{WithField(0, 0, Occ), 0, 1},
+		// Coalescing-only lanes count as free, exactly like IsFree.
+		{Fill(0, 8, CoalLeft), 0, 0},
+		{WithField(Fill(0, 8, Busy), 6, CoalRight), 0, 6},
+	}
+	for _, c := range cases {
+		if got := FirstFreeLane(c.w, c.from); got != c.want {
+			t.Errorf("FirstFreeLane(%#x, %d) = %d, want %d", c.w, c.from, got, c.want)
+		}
+	}
+}
+
+// Property: the SWAR first-free-lane scan agrees with the per-lane
+// reference on every status word and scan start.
+func TestQuickFirstFreeLane(t *testing.T) {
+	f := func(w uint64, from uint8) bool {
+		w &= statMask
+		ff := int(from % 9) // 0..8 inclusive: the one-past-the-end start is legal
+		return FirstFreeLane(w, ff) == firstFreeLaneRef(w, ff)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// firstFreeRunRef is the per-run reference for FirstFreeRun.
+func firstFreeRunRef(w uint64, from, count int) int {
+	for f := from; f < LanesPerWord; f += count {
+		if !AnyBusy(w, f, count) {
+			return f
+		}
+	}
+	return LanesPerWord
+}
+
+func TestQuickFirstFreeRun(t *testing.T) {
+	f := func(w uint64, from, countSel uint8) bool {
+		w &= statMask
+		count := 1 << (countSel % 4) // 1, 2, 4, 8
+		ff := (int(from) % (LanesPerWord/count + 1)) * count
+		return FirstFreeRun(w, ff, count) == firstFreeRunRef(w, ff, count)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Error(err)
 	}
 }

@@ -16,6 +16,10 @@
 //     where every release is performed by a thread that did not allocate
 //     the chunk — the pure cross-thread pattern that Larson samples,
 //     isolated to exercise front-end spill/depot behaviour.
+//   - Frag (this repository's): an alloc/free ping-pong over an instance
+//     pre-fragmented with a checkerboard of long-lived chunks, so every
+//     level scan walks long occupied runs before finding a hole — the
+//     pattern that stresses the packed status tree's SWAR scan.
 //
 // Every driver takes a prebuilt allocator instance and a Config whose
 // operation counts follow the paper (20M/T for Linux Scalability and
@@ -89,6 +93,7 @@ var Drivers = map[string]Func{
 	"larson":             Larson,
 	"constant-occupancy": ConstantOccupancy,
 	"remote-free":        RemoteFree,
+	"frag":               Frag,
 }
 
 // run spawns cfg.Threads workers, waits for all to finish, and accounts
@@ -267,6 +272,64 @@ func RemoteFree(a alloc.Allocator, cfg Config) Result {
 			h.Free(off)
 		}
 	})
+}
+
+// fragRunLen is the length of the occupied runs of the frag driver's
+// checkerboard: between two free holes sit fragRunLen long-lived chunks,
+// so a level scan starting from a scattered point walks fragRunLen/2
+// occupied statuses on average before finding a hole.
+const fragRunLen = 15
+
+// fragPlantBatch is the bulk-allocation unit of the frag planter. The
+// checkerboard is planted and torn down through the allocator-level
+// bulk-transfer contract: the batched level scan keeps its rover, so
+// filling the whole instance stays linear, and on composed stacks the
+// allocator's batch forwards straight to the back-end instead of
+// amplifying through magazine refills (a chunk-at-a-time fill of a
+// nearly-exhausted heap through a batch-refilling front-end is
+// quadratic in the heap size).
+const fragPlantBatch = 4096
+
+// Frag: the fragmentation-resilience driver. Before timing, a planter
+// handle fills the instance with cfg.Size chunks and then frees every
+// (fragRunLen+1)-th one, leaving a checkerboard of long-lived occupied
+// runs separated by isolated holes. The timed phase is the Linux
+// Scalability ping-pong over that landscape: every allocation's level
+// scan must traverse an occupied run to reach a hole, which is exactly
+// the memory-bandwidth-bound path the word-packed status layout targets
+// (eight node statuses per atomic load instead of one). The planted
+// chunks are released after the timed window so the instance drains.
+func Frag(a alloc.Allocator, cfg Config) Result {
+	var planted []uint64
+	for {
+		batch := alloc.AllocBatchOf(a, cfg.Size, fragPlantBatch)
+		planted = append(planted, batch...)
+		if len(batch) < fragPlantBatch {
+			// A short batch means the scan could not serve the remainder:
+			// the instance is as full as it gets.
+			break
+		}
+	}
+	keep := planted[:0]
+	holes := make([]uint64, 0, len(planted)/(fragRunLen+1)+1)
+	for i, off := range planted {
+		if i%(fragRunLen+1) == 0 {
+			holes = append(holes, off)
+		} else {
+			keep = append(keep, off)
+		}
+	}
+	alloc.FreeBatchOf(a, holes)
+	iters := cfg.scaled(10_000_000) / uint64(cfg.Threads)
+	res := run("frag", a, cfg, func(id int, h alloc.Handle) {
+		for i := uint64(0); i < iters; i++ {
+			if off, ok := h.Alloc(cfg.Size); ok {
+				h.Free(off)
+			}
+		}
+	})
+	alloc.FreeBatchOf(a, keep)
+	return res
 }
 
 func normScale(s float64) float64 {

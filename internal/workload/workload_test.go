@@ -81,3 +81,29 @@ func TestConfigValidate(t *testing.T) {
 		t.Errorf("valid config rejected: %v", err)
 	}
 }
+
+func TestFragPlantsCheckerboardAndDrains(t *testing.T) {
+	a, err := alloc.Build("4lvl-nb", testInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := workload.Frag(a, workload.Config{Threads: 4, Size: 64, Scale: 0.0001, Seed: 1})
+	if res.Ops == 0 {
+		t.Fatal("frag completed zero timed operations")
+	}
+	// The planted checkerboard must leave holes for the timed phase: a
+	// fully planted instance would fail every timed allocation.
+	if res.Fails == res.Ops {
+		t.Fatal("every timed allocation failed: no holes were left")
+	}
+	// The driver releases its long-lived chunks afterwards: the whole
+	// region must be allocatable again (Scrub sheds benign residue).
+	if s, ok := a.(interface{ Scrub() }); ok {
+		s.Scrub()
+	}
+	off, ok := a.Alloc(testInstance.MaxSize)
+	if !ok {
+		t.Fatal("max-size alloc failed after frag drained")
+	}
+	a.Free(off)
+}
