@@ -15,6 +15,8 @@
 //	    -json -label pr2 > BENCH_pr2.json
 //	nbbsbench -workload frag -alloc 4lvl-nb -threads 8 -cpuprofile cpu.prof \
 //	    && go tool pprof -top cpu.prof   # diagnose a hot-path regression
+//	nbbsbench -workload burst -alloc depot+multi4+4lvl-nb,elastic+multi+4lvl-nb \
+//	    -threads 8   # sawtooth live-set; the elastic stack grows/retires
 package main
 
 import (
@@ -39,7 +41,7 @@ import (
 
 func main() {
 	var (
-		workloadName = flag.String("workload", "linux-scalability", "comma-separated workloads: linux-scalability | thread-test | larson | constant-occupancy | remote-free | frag")
+		workloadName = flag.String("workload", "linux-scalability", "comma-separated workloads: linux-scalability | thread-test | larson | constant-occupancy | remote-free | frag | burst")
 		allocators   = flag.String("alloc", strings.Join(harness.AllocatorsUserSpace, ","), "comma-separated allocator variants")
 		threads      = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
 		sizes        = flag.String("sizes", "8,128,1024", "comma-separated request sizes in bytes")
@@ -93,7 +95,7 @@ func main() {
 	workloads := strings.Split(*workloadName, ",")
 	for _, w := range workloads {
 		if _, ok := workload.Drivers[w]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown workload %q; valid: linux-scalability, thread-test, larson, constant-occupancy, remote-free, frag\n", w)
+			fmt.Fprintf(os.Stderr, "unknown workload %q; valid: linux-scalability, thread-test, larson, constant-occupancy, remote-free, frag, burst\n", w)
 			os.Exit(2)
 		}
 	}

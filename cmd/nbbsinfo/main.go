@@ -15,6 +15,8 @@
 //	nbbsinfo -total 16777216 -min 64 -max 65536 \
 //	    -instances 4 -cached -materialize -demo-ops 200000
 //	nbbsinfo -instances 4 -depot -demo-ops 200000   # depot_* layer counters
+//	nbbsinfo -instances 2 -elastic -elastic-max 4 -demo-ops 400000
+//	    # watermark config, per-instance utilization, lifecycle counters
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	nbbs "repro"
 	"repro/internal/geometry"
@@ -40,6 +43,9 @@ func main() {
 		magazine    = flag.Int("magazine", 0, "front-end per-class magazine capacity (0 = default)")
 		depot       = flag.Bool("depot", false, "attach the shared magazine depot to the front-end (implies -cached)")
 		materialize = flag.Bool("materialize", false, "back the offset space with real memory")
+		elastic     = flag.Bool("elastic", false, "wrap the router with the elastic capacity manager (demo polls it in the background)")
+		elasticMin  = flag.Int("elastic-min", 1, "elastic instance floor")
+		elasticMax  = flag.Int("elastic-max", 0, "elastic instance cap (0 = twice the initial instances)")
 		demoOps     = flag.Int("demo-ops", 0, "drive this many ops through the stack and report per-layer stats")
 		workers     = flag.Int("workers", 8, "worker goroutines for -demo-ops")
 	)
@@ -100,6 +106,9 @@ func main() {
 			magazine:    *magazine,
 			depot:       *depot,
 			materialize: *materialize,
+			elastic:     *elastic,
+			elasticMin:  *elasticMin,
+			elasticMax:  *elasticMax,
 			ops:         *demoOps,
 			workers:     *workers,
 		})
@@ -114,6 +123,9 @@ type stackConfig struct {
 	magazine    int
 	depot       bool
 	materialize bool
+	elastic     bool
+	elasticMin  int
+	elasticMax  int
 	ops         int
 	workers     int
 }
@@ -124,6 +136,12 @@ func demo(sc stackConfig) {
 	opts := []nbbs.Option{nbbs.WithVariant(sc.variant)}
 	if sc.instances > 1 {
 		opts = append(opts, nbbs.WithInstances(sc.instances))
+	}
+	if sc.elastic {
+		opts = append(opts, nbbs.WithElastic(nbbs.ElasticConfig{
+			MinInstances: sc.elasticMin,
+			MaxInstances: sc.elasticMax,
+		}))
 	}
 	if sc.cached {
 		opts = append(opts, nbbs.WithFrontend(sc.magazine))
@@ -141,6 +159,12 @@ func demo(sc stackConfig) {
 	}
 
 	fmt.Printf("\nstack demo: %s, %d ops over %d workers\n", b.Name(), sc.ops, sc.workers)
+	if mgr := b.Elastic(); mgr != nil {
+		// Run the capacity policy in the background while the demo load is
+		// on, so the printed lifecycle counters reflect real transitions.
+		mgr.Start(500 * time.Microsecond)
+		defer mgr.Stop()
+	}
 	sizes := []uint64{sc.cfg.MinSize, sc.cfg.MinSize * 4, sc.cfg.MinSize * 16, sc.cfg.MaxSize / 2}
 	var wg sync.WaitGroup
 	for w := 0; w < sc.workers; w++ {
@@ -169,6 +193,12 @@ func demo(sc stackConfig) {
 		}()
 	}
 	wg.Wait()
+	if mgr := b.Elastic(); mgr != nil {
+		// Scrub is quiescent-only: the background poller must stop before
+		// it, or a concurrent Poll could batch-free depot magazines into
+		// the leaves mid-rebuild.
+		mgr.Stop()
+	}
 	b.Scrub()
 
 	fmt.Printf("\nper-layer stats (top-down):\n")
@@ -187,6 +217,26 @@ func demo(sc stackConfig) {
 		fmt.Printf("  %-24s %10d %10d %8d %10d %10d  %s\n",
 			layer.Layer, layer.Stats.Allocs, layer.Stats.Frees, layer.Stats.AllocFails,
 			layer.Stats.RMW, layer.Stats.CASFail, extras)
+	}
+
+	if mgr := b.Elastic(); mgr != nil {
+		mgr.Poll() // the stack is drained: complete any pending retires
+		cfg := mgr.Config()
+		c := mgr.Counters()
+		fmt.Printf("\nelastic capacity manager:\n")
+		fmt.Printf("  watermarks: grow >= %.0f%% utilization, shrink <= %.0f%% (hysteresis %d polls)\n",
+			cfg.HighWater*100, cfg.LowWater*100, cfg.Hysteresis)
+		fmt.Printf("  fleet bounds: %d..%d instances\n", cfg.MinInstances, cfg.MaxInstances)
+		fmt.Printf("  lifecycle: polls=%d grows=%d reactivations=%d drains=%d retires=%d denied_at_cap=%d\n",
+			c.Polls, c.Grows, c.Reactivations, c.Drains, c.Retires, c.DeniedAtCap)
+		span := mgr.Router().InstanceSpan()
+		fmt.Printf("  per-instance utilization (%d-byte windows):\n", span)
+		fmt.Printf("    %-5s %-9s %12s %14s %8s\n", "slot", "state", "live chunks", "live bytes", "util")
+		for _, info := range mgr.Router().InstanceInfos() {
+			fmt.Printf("    %-5d %-9s %12d %14d %7.1f%%\n",
+				info.Slot, info.State, info.Live, info.LiveBytes,
+				float64(info.LiveBytes)/float64(span)*100)
+		}
 	}
 }
 

@@ -1,0 +1,105 @@
+// Elastic: pressure-driven capacity behind the multi-instance router.
+//
+// A fixed buddy region forces a choice for bursty traffic: provision for
+// the peak (and waste the trough) or provision for the trough (and fail
+// at the peak). This demo builds a 2-instance deployment with an elastic
+// capacity manager capped at 4, then drives one burst cycle through it:
+//
+//  1. Ramp: allocations pile up past the high watermark; explicit Poll
+//     steps let the manager observe the pressure and publish fresh
+//     instances (the burst is absorbed instead of failing).
+//  2. Quiet: everything is freed; Polls observe the idle fleet, mark the
+//     surplus instances draining and — once their live counts hit zero —
+//     unpublish them.
+//
+// The program asserts the fleet really returns to the floor and exits
+// non-zero otherwise, so it doubles as an end-to-end check. Poll is used
+// instead of the background Start/Stop goroutine to keep every
+// transition visible and deterministic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	nbbs "repro"
+)
+
+const (
+	floor = 2 // initial and minimum instances
+	cap_  = 4 // elastic ceiling
+)
+
+func main() {
+	b, err := nbbs.New(
+		nbbs.Config{Total: 1 << 20, MinSize: 64, MaxSize: 16 << 10},
+		nbbs.WithInstances(floor),
+		nbbs.WithElastic(nbbs.ElasticConfig{MinInstances: floor, MaxInstances: cap_}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := b.Elastic()
+	fmt.Printf("deployment: %s\n", b.Name())
+	fmt.Printf("start: %d instances (floor %d, cap %d), utilization %.0f%%\n\n",
+		b.Instances(), floor, cap_, mgr.Utilization()*100)
+
+	// Phase 1 — the burst. Allocate 16KiB chunks and Poll as we go; once
+	// utilization crosses the high watermark for a hysteresis streak, the
+	// manager grows the fleet and the ramp keeps landing on fresh capacity.
+	h := b.NewHandle()
+	var live []uint64
+	for i := 0; b.Instances() < cap_ && i < 4096; i++ {
+		off, ok := h.Alloc(16 << 10)
+		if !ok {
+			// The current fleet is saturated mid-ramp: give the manager a
+			// chance to publish capacity and retry.
+			mgr.Poll()
+			if off, ok = h.Alloc(16 << 10); !ok {
+				log.Fatalf("burst allocation failed at %d instances, utilization %.0f%%",
+					b.Instances(), mgr.Utilization()*100)
+			}
+		}
+		live = append(live, off)
+		if act := mgr.Poll(); act.Grew >= 0 {
+			fmt.Printf("burst: %4d chunks live, utilization %3.0f%% -> grew instance slot %d (now %d instances)\n",
+				len(live), act.Utilization*100, act.Grew, b.Instances())
+		}
+	}
+	peak := b.Instances()
+	fmt.Printf("peak: %d instances serving %d live chunks (utilization %.0f%%)\n\n",
+		peak, len(live), mgr.Utilization()*100)
+	if peak <= floor {
+		fmt.Fprintf(os.Stderr, "FAIL: the burst never grew the fleet above the floor (%d instances)\n", peak)
+		os.Exit(1)
+	}
+
+	// Phase 2 — the quiet period. Free everything, then Poll: the idle
+	// fleet drains (allocations skip draining instances, frees still land
+	// by offset) and fully drained instances unpublish.
+	for _, off := range live {
+		h.Free(off)
+	}
+	for i := 0; i < 16 && b.Instances() > floor; i++ {
+		act := mgr.Poll()
+		if act.DrainStarted >= 0 {
+			fmt.Printf("quiet: utilization %3.0f%% -> draining slot %d\n", act.Utilization*100, act.DrainStarted)
+		}
+		for _, k := range act.Retired {
+			fmt.Printf("quiet: slot %d reached zero live chunks -> retired (now %d instances)\n",
+				k, b.Instances())
+		}
+	}
+
+	c := mgr.Counters()
+	fmt.Printf("\nlifecycle: grows=%d drains=%d retires=%d denied_at_cap=%d over %d polls\n",
+		c.Grows, c.Drains, c.Retires, c.DeniedAtCap, c.Polls)
+	fmt.Printf("end: %d instances\n", b.Instances())
+	if b.Instances() != floor {
+		fmt.Fprintf(os.Stderr, "FAIL: fleet did not return to the floor: %d instances, want %d\n",
+			b.Instances(), floor)
+		os.Exit(1)
+	}
+	fmt.Println("OK: burst absorbed by growth, quiet period retired back to the floor")
+}

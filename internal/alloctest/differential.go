@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/alloc"
+	"repro/internal/elastic"
+	"repro/internal/multi"
 )
 
 // RunDifferential drives a long random operation sequence — single and
@@ -21,6 +23,13 @@ import (
 // Operations are driven through a per-worker handle (so front-end
 // magazines and the depot engage) and through the allocator's batched
 // convenience contract, exercising both faces of every layer.
+//
+// When the stack contains an elastic capacity manager, the sequence
+// additionally interleaves lifecycle transitions — Poll steps plus forced
+// Grow and Shrink decisions — between the allocator operations, so every
+// safety property above is re-checked across instance-set growth, drains
+// (frees landing by offset on draining instances) and retirements. The
+// offset-space span is re-read on every admission because grows widen it.
 func RunDifferential(t *testing.T, build Builder) {
 	t.Helper()
 	const total, minSize, maxSize = 1 << 16, 8, 1 << 12
@@ -39,7 +48,7 @@ type oracleChunk struct {
 func differentialSequence(t *testing.T, a alloc.Allocator, seed int64, total, minSize uint64) {
 	t.Helper()
 	geo := a.Geometry()
-	span := alloc.SpanOf(a)
+	mgr := elastic.Find(a)
 	rng := rand.New(rand.NewSource(seed))
 	h := a.NewHandle()
 
@@ -48,6 +57,8 @@ func differentialSequence(t *testing.T, a alloc.Allocator, seed int64, total, mi
 
 	admit := func(step int, off, size uint64, how string) {
 		reserved := geo.SizeOfLevel(geo.LevelForSize(size))
+		// Re-read the span per admission: elastic grows widen it mid-run.
+		span := alloc.SpanOf(a)
 		if off%reserved != 0 || off+reserved > span {
 			t.Fatalf("seed %d step %d: %s(%d) -> [%d,%d) misaligned or outside the %d-byte span",
 				seed, step, how, size, off, off+reserved, span)
@@ -158,6 +169,22 @@ func differentialSequence(t *testing.T, a alloc.Allocator, seed int64, total, mi
 				admit(step, off, size, "conv Alloc")
 			}
 		}
+		// Elastic lifecycle interleave: advance the capacity manager
+		// between allocator operations. Poll completes pending retires and
+		// applies the watermark policy; forced Grow/Shrink decisions make
+		// sure instance-set transitions happen regardless of where the
+		// random walk left utilization. Errors (at the cap, at the floor)
+		// are legitimate outcomes here.
+		if mgr != nil && rng.Intn(12) == 0 {
+			switch rng.Intn(4) {
+			case 0, 1:
+				mgr.Poll()
+			case 2:
+				mgr.Grow()
+			case 3:
+				mgr.Shrink()
+			}
+		}
 	}
 
 	// Drain through the batched path, quiesce, and reconcile stats.
@@ -168,6 +195,23 @@ func differentialSequence(t *testing.T, a alloc.Allocator, seed int64, total, mi
 	alloc.HandleFreeBatch(h, rest)
 	if s, ok := a.(alloc.Scrubber); ok {
 		s.Scrub()
+	}
+	if mgr != nil {
+		// Everything is freed and scrubbed (magazines flushed, depot
+		// drained), so every pending drain is at zero live: one Poll must
+		// complete every retirement. A slot still draining afterwards
+		// means the live accounting leaked.
+		mgr.Poll()
+		for _, info := range mgr.Router().InstanceInfos() {
+			if info.State == multi.Draining {
+				t.Fatalf("seed %d: slot %d still draining after full drain+scrub (live=%d, liveBytes=%d)",
+					seed, info.Slot, info.Live, info.LiveBytes)
+			}
+			if info.State == multi.Active && (info.Live != 0 || info.LiveBytes != 0) {
+				t.Fatalf("seed %d: drained slot %d reports live=%d liveBytes=%d",
+					seed, info.Slot, info.Live, info.LiveBytes)
+			}
+		}
 	}
 	for _, layer := range alloc.StackStats(a) {
 		if layer.Stats.Allocs != layer.Stats.Frees {

@@ -1,0 +1,494 @@
+// Package elastic is the capacity manager of the allocator stack: a
+// composable layer over the multi-instance router that grows and shrinks
+// the back-end instance set at runtime under a watermark policy.
+//
+// The paper's non-blocking buddy system manages a fixed memory region; a
+// production deployment serving bursty traffic either over-provisions
+// that region permanently or hits a hard allocation wall at peak. The
+// manager closes the gap using machinery the lower layers already have:
+// instances share one geometry, the router's copy-on-write slot table
+// publishes instance-set changes atomically (internal/multi), and the
+// bulk-transfer contract lets a shrink move whole magazines back down in
+// a few crossings.
+//
+// Lifecycle. A grow publishes a fresh instance (reusing a retired hole
+// when one exists, re-activating a draining slot when pressure returns
+// mid-drain). A shrink is three-phase: the victim slot is marked draining
+// (allocations skip it, frees keep landing on it by offset), the manager
+// waits for the slot's live-chunk count to reach zero — triggering depot
+// drains through registered hooks so parked magazines cannot stall it —
+// and only then unpublishes the slot. See DESIGN.md, "The elastic
+// instance lifecycle", for the memory-ordering argument.
+//
+// The policy engine is deliberately pull-based: Poll() performs one
+// observation/decision step, which makes grow/drain/retire sequences
+// deterministic in tests; Start launches an optional background goroutine
+// that Polls on an interval for deployments that want autonomy.
+package elastic
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/geometry"
+	"repro/internal/multi"
+)
+
+// Defaults of Config fields left zero.
+const (
+	DefaultHighWater  = 0.75
+	DefaultLowWater   = 0.25
+	DefaultHysteresis = 2
+)
+
+// Config is the watermark policy of a capacity manager.
+type Config struct {
+	// MinInstances is the floor the manager never drains below (>= 1;
+	// 0 means 1).
+	MinInstances int
+	// MaxInstances caps the published instance set (active + draining;
+	// 0 means twice the router's initial instance count).
+	MaxInstances int
+	// HighWater is the utilization (live bytes / active capacity) at or
+	// above which the manager wants to grow (0 means DefaultHighWater).
+	HighWater float64
+	// LowWater is the utilization at or below which the manager wants to
+	// shrink (0 means DefaultLowWater).
+	LowWater float64
+	// Hysteresis is how many consecutive Polls must agree before a grow
+	// or shrink is acted on (0 means DefaultHysteresis); it keeps a
+	// single spike or dip from flapping the instance set.
+	Hysteresis int
+}
+
+func (c Config) withDefaults(initial int) Config {
+	if c.MinInstances <= 0 {
+		c.MinInstances = 1
+	}
+	if c.MaxInstances <= 0 {
+		c.MaxInstances = 2 * initial
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = DefaultHighWater
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = DefaultLowWater
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = DefaultHysteresis
+	}
+	return c
+}
+
+// Counters are the manager's lifecycle totals; quiescent points only
+// unless read under the manager's own Poll serialization.
+type Counters struct {
+	Polls         uint64 // Poll steps executed
+	Grows         uint64 // instances published by AddInstance
+	Reactivations uint64 // draining slots flipped back to active
+	Drains        uint64 // drain phases started
+	Retires       uint64 // slots unpublished after reaching zero live
+	DeniedAtCap   uint64 // grow decisions refused by MaxInstances
+}
+
+// Action reports what one Poll step did.
+type Action struct {
+	// Utilization is the observed live-bytes / active-capacity ratio.
+	Utilization float64
+	// Grew is the slot index of a newly published instance (-1 if none).
+	Grew int
+	// Reactivated is the slot index of a drain cancelled by pressure
+	// (-1 if none).
+	Reactivated int
+	// DrainStarted is the slot index a drain phase began on (-1 if none).
+	DrainStarted int
+	// Retired lists slots unpublished by this step.
+	Retired []int
+	// DeniedAtCap reports a grow decision refused by MaxInstances.
+	DeniedAtCap bool
+}
+
+// DrainHook is called when the manager needs chunks of the global offset
+// window [lo, hi) returned to the back-end — when a drain starts and on
+// every Poll while it is pending. The caching front-end registers one
+// that drains depot-parked magazines overlapping the window, so chunks
+// idling in the depot cannot stall a retirement forever.
+type DrainHook func(lo, hi uint64)
+
+// Manager wraps the multi-instance router with the elastic capacity
+// policy. It implements the full composable layer contract — every
+// allocator operation forwards to the router — so caching front-ends and
+// trace recorders stack over it transparently.
+type Manager struct {
+	inner *multi.Multi
+	cfg   Config
+
+	// mu serializes Poll/Grow/Shrink decision steps (the router's own
+	// table mutations have their own mutex; this one makes the policy
+	// read-decide-act sequence atomic).
+	mu       sync.Mutex
+	hiStreak int
+	loStreak int
+	counters Counters
+	hooks    []DrainHook
+
+	bg     sync.WaitGroup
+	stopCh chan struct{}
+}
+
+// New builds a capacity manager over the router. It must be called before
+// the router serves any traffic: the manager enables the router's
+// per-slot live accounting, and chunks delivered before that would be
+// invisible to the retirement logic.
+func New(inner *multi.Multi, cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults(inner.Instances())
+	if cfg.LowWater >= cfg.HighWater {
+		return nil, fmt.Errorf("elastic: low watermark %.2f must be below high watermark %.2f", cfg.LowWater, cfg.HighWater)
+	}
+	if cfg.MaxInstances < cfg.MinInstances {
+		return nil, fmt.Errorf("elastic: max instances %d below min %d", cfg.MaxInstances, cfg.MinInstances)
+	}
+	if n := inner.Instances(); n > cfg.MaxInstances {
+		return nil, fmt.Errorf("elastic: router starts with %d instances, above the %d cap", n, cfg.MaxInstances)
+	}
+	inner.EnableLiveTracking()
+	return &Manager{inner: inner, cfg: cfg}, nil
+}
+
+// Config returns the effective (defaulted) policy.
+func (mgr *Manager) Config() Config { return mgr.cfg }
+
+// Router exposes the wrapped multi-instance router.
+func (mgr *Manager) Router() *multi.Multi { return mgr.inner }
+
+// OnDrainRange registers a hook the manager calls for every draining
+// slot's offset window, both when the drain starts and on every Poll
+// while the slot waits for zero live chunks. Register hooks during stack
+// construction, before traffic.
+func (mgr *Manager) OnDrainRange(fn DrainHook) {
+	mgr.mu.Lock()
+	mgr.hooks = append(mgr.hooks, fn)
+	mgr.mu.Unlock()
+}
+
+// Counters returns the lifecycle totals.
+func (mgr *Manager) Counters() Counters {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	return mgr.counters
+}
+
+// Utilization returns live bytes over active capacity (0 when no slot is
+// active, which cannot happen through the manager's own transitions).
+func (mgr *Manager) Utilization() float64 {
+	used, capacity := mgr.usage()
+	if capacity == 0 {
+		return 0
+	}
+	return float64(used) / float64(capacity)
+}
+
+// usage sums live bytes and capacity over the active slots.
+func (mgr *Manager) usage() (used int64, capacity int64) {
+	span := int64(mgr.inner.InstanceSpan())
+	for _, info := range mgr.inner.InstanceInfos() {
+		if info.State == multi.Active {
+			used += info.LiveBytes
+			capacity += span
+		}
+	}
+	return used, capacity
+}
+
+// drainRange invokes the registered hooks for slot k's offset window.
+func (mgr *Manager) drainRange(k int) {
+	lo := uint64(k) * mgr.inner.InstanceSpan()
+	hi := lo + mgr.inner.InstanceSpan()
+	for _, fn := range mgr.hooks {
+		fn(lo, hi)
+	}
+}
+
+// Poll performs one observation/decision step: finish pending retires
+// whose slots reached zero live chunks, then compare utilization against
+// the watermarks and grow or start a drain when the hysteresis streak is
+// met. Poll is safe to call concurrently with allocator traffic; decision
+// steps serialize on the manager's mutex.
+func (mgr *Manager) Poll() Action {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	mgr.counters.Polls++
+	act := Action{Grew: -1, Reactivated: -1, DrainStarted: -1}
+
+	// Phase 1: push pending drains toward zero live and retire the ones
+	// that got there. The depot hook runs first so magazines parked since
+	// the last Poll go back down before the live check.
+	for _, info := range mgr.inner.InstanceInfos() {
+		if info.State != multi.Draining {
+			continue
+		}
+		mgr.drainRange(info.Slot)
+		done, err := mgr.inner.TryRetire(info.Slot)
+		if err == nil && done {
+			mgr.counters.Retires++
+			act.Retired = append(act.Retired, info.Slot)
+		}
+	}
+
+	// Phase 2: watermark policy over the active set.
+	used, capacity := mgr.usage()
+	if capacity == 0 {
+		return act
+	}
+	act.Utilization = float64(used) / float64(capacity)
+	switch {
+	case act.Utilization >= mgr.cfg.HighWater:
+		mgr.loStreak = 0
+		mgr.hiStreak++
+		if mgr.hiStreak >= mgr.cfg.Hysteresis {
+			mgr.hiStreak = 0
+			mgr.grow(&act)
+		}
+	case act.Utilization <= mgr.cfg.LowWater:
+		mgr.hiStreak = 0
+		mgr.loStreak++
+		if mgr.loStreak >= mgr.cfg.Hysteresis {
+			mgr.loStreak = 0
+			mgr.shrink(&act)
+		}
+	default:
+		mgr.hiStreak, mgr.loStreak = 0, 0
+	}
+	return act
+}
+
+// grow publishes capacity: a draining slot is re-activated when one
+// exists (its chunks are still ours; cancelling the drain is free),
+// otherwise a fresh instance is built, unless the cap refuses.
+// Called with mu held.
+func (mgr *Manager) grow(act *Action) {
+	for _, info := range mgr.inner.InstanceInfos() {
+		if info.State == multi.Draining {
+			if err := mgr.inner.Reactivate(info.Slot); err == nil {
+				mgr.counters.Reactivations++
+				act.Reactivated = info.Slot
+				return
+			}
+		}
+	}
+	if mgr.inner.Instances() >= mgr.cfg.MaxInstances {
+		mgr.counters.DeniedAtCap++
+		act.DeniedAtCap = true
+		return
+	}
+	k, err := mgr.inner.AddInstance()
+	if err != nil {
+		return
+	}
+	mgr.counters.Grows++
+	act.Grew = k
+}
+
+// shrink starts draining the least-utilized active slot, keeping at
+// least MinInstances active. Called with mu held.
+func (mgr *Manager) shrink(act *Action) {
+	if mgr.inner.ActiveInstances() <= mgr.cfg.MinInstances {
+		return
+	}
+	victim, best := -1, int64(0)
+	for _, info := range mgr.inner.InstanceInfos() {
+		if info.State != multi.Active {
+			continue
+		}
+		if victim < 0 || info.LiveBytes < best {
+			victim, best = info.Slot, info.LiveBytes
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	if err := mgr.inner.StartDrain(victim); err != nil {
+		return
+	}
+	mgr.counters.Drains++
+	act.DrainStarted = victim
+	mgr.drainRange(victim)
+	// An already-empty victim retires in the same step.
+	if done, err := mgr.inner.TryRetire(victim); err == nil && done {
+		mgr.counters.Retires++
+		act.Retired = append(act.Retired, victim)
+	}
+}
+
+// Grow forces one grow step regardless of watermarks (tests, operator
+// tooling). It returns the slot index published or re-activated.
+func (mgr *Manager) Grow() (int, error) {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	var act Action
+	act.Grew, act.Reactivated = -1, -1
+	mgr.grow(&act)
+	switch {
+	case act.Grew >= 0:
+		return act.Grew, nil
+	case act.Reactivated >= 0:
+		return act.Reactivated, nil
+	default:
+		return -1, fmt.Errorf("elastic: at the %d-instance cap", mgr.cfg.MaxInstances)
+	}
+}
+
+// Shrink forces one drain start regardless of watermarks (tests, operator
+// tooling). It returns the slot index now draining; retirement still
+// waits for zero live chunks via Poll.
+func (mgr *Manager) Shrink() (int, error) {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	var act Action
+	act.Grew, act.Reactivated, act.DrainStarted = -1, -1, -1
+	mgr.shrink(&act)
+	if act.DrainStarted < 0 {
+		return -1, fmt.Errorf("elastic: at the %d-instance floor", mgr.cfg.MinInstances)
+	}
+	return act.DrainStarted, nil
+}
+
+// Tick is Poll for callers that only want to advance the lifecycle (the
+// workload drivers poll through this single-method interface).
+func (mgr *Manager) Tick() { mgr.Poll() }
+
+// Start launches a background goroutine Polling every interval until
+// Stop. A second Start without Stop is a no-op. The goroutine is
+// registered and spawned under the same mutex hold that publishes
+// stopCh, so a concurrent Stop cannot observe the channel yet miss the
+// goroutine in the wait group (which would let a stray Poll outlive
+// Stop and race a subsequent quiescent-only Scrub).
+func (mgr *Manager) Start(interval time.Duration) {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	if mgr.stopCh != nil {
+		return
+	}
+	stop := make(chan struct{})
+	mgr.stopCh = stop
+	mgr.bg.Add(1)
+	go func() {
+		defer mgr.bg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				mgr.Poll()
+			}
+		}
+	}()
+}
+
+// Stop halts the background goroutine started by Start and waits for it.
+func (mgr *Manager) Stop() {
+	mgr.mu.Lock()
+	stop := mgr.stopCh
+	mgr.stopCh = nil
+	mgr.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	mgr.bg.Wait()
+}
+
+// --- the composable layer contract, forwarding to the router ---
+
+// Name implements alloc.Allocator.
+func (mgr *Manager) Name() string { return "elastic+" + mgr.inner.Name() }
+
+// Geometry implements alloc.Allocator (per-instance geometry).
+func (mgr *Manager) Geometry() geometry.Geometry { return mgr.inner.Geometry() }
+
+// OffsetSpan implements alloc.Spanner; it widens as the table grows.
+func (mgr *Manager) OffsetSpan() uint64 { return mgr.inner.OffsetSpan() }
+
+// Unwrap exposes the router to generic stack walkers.
+func (mgr *Manager) Unwrap() alloc.Allocator { return mgr.inner }
+
+// Alloc implements alloc.Allocator (forwarded).
+func (mgr *Manager) Alloc(size uint64) (uint64, bool) { return mgr.inner.Alloc(size) }
+
+// Free implements alloc.Allocator (forwarded).
+func (mgr *Manager) Free(offset uint64) { mgr.inner.Free(offset) }
+
+// AllocBatch implements alloc.BatchAllocator (forwarded; the router
+// batches natively).
+func (mgr *Manager) AllocBatch(size uint64, n int) []uint64 { return mgr.inner.AllocBatch(size, n) }
+
+// FreeBatch implements alloc.BatchAllocator (forwarded).
+func (mgr *Manager) FreeBatch(offsets []uint64) { mgr.inner.FreeBatch(offsets) }
+
+// NewHandle implements alloc.Allocator: the manager holds no per-worker
+// state, so router handles are used directly.
+func (mgr *Manager) NewHandle() alloc.Handle { return mgr.inner.NewHandle() }
+
+// Stats implements alloc.Allocator (forwarded).
+func (mgr *Manager) Stats() alloc.Stats { return mgr.inner.Stats() }
+
+// ChunkSize implements alloc.ChunkSizer (forwarded).
+func (mgr *Manager) ChunkSize(offset uint64) uint64 { return mgr.inner.ChunkSize(offset) }
+
+// Scrub implements alloc.Scrubber (forwarded). Scrub does not retire
+// slots; lifecycle transitions only happen through Poll so test
+// interleavings stay deterministic.
+func (mgr *Manager) Scrub() { mgr.inner.Scrub() }
+
+// LayerStats implements alloc.LayerStatser: the elastic entry carries the
+// lifecycle counters and the current fleet shape, followed by the
+// router's entries. Like the arena layer it contributes no operation
+// counters of its own — operations are accounted where they are served.
+func (mgr *Manager) LayerStats() []alloc.LayerStats {
+	c := mgr.Counters()
+	active, draining := 0, 0
+	for _, info := range mgr.inner.InstanceInfos() {
+		switch info.State {
+		case multi.Active:
+			active++
+		case multi.Draining:
+			draining++
+		}
+	}
+	entry := alloc.LayerStats{
+		Layer: "elastic",
+		Extra: map[string]uint64{
+			"elastic_instances":     uint64(active),
+			"elastic_draining":      uint64(draining),
+			"elastic_slots":         uint64(mgr.inner.Slots()),
+			"elastic_polls":         c.Polls,
+			"elastic_grows":         c.Grows,
+			"elastic_reactivations": c.Reactivations,
+			"elastic_drains":        c.Drains,
+			"elastic_retires":       c.Retires,
+			"elastic_denied_at_cap": c.DeniedAtCap,
+		},
+	}
+	return append([]alloc.LayerStats{entry}, alloc.StackStats(mgr.inner)...)
+}
+
+// Find walks an allocator stack outside-in and returns the first elastic
+// manager it contains (nil when the stack is not elastic). It understands
+// the generic Unwrap chain every wrapping layer implements.
+func Find(a alloc.Allocator) *Manager {
+	for a != nil {
+		if mgr, ok := a.(*Manager); ok {
+			return mgr
+		}
+		u, ok := a.(interface{ Unwrap() alloc.Allocator })
+		if !ok {
+			return nil
+		}
+		a = u.Unwrap()
+	}
+	return nil
+}

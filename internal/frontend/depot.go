@@ -96,6 +96,40 @@ func (d *Depot) noteRefill(chunks int) {
 	d.mu.Unlock()
 }
 
+// DrainRange removes and returns every retained full magazine holding at
+// least one chunk in the global offset window [lo, hi) — the elastic
+// shrink path: a draining back-end instance cannot reach zero live chunks
+// while the depot parks its memory. Magazines mix chunks from several
+// instances (they are filled by frees, which route anywhere), so a
+// matching magazine is evicted whole; the caller frees it down and the
+// out-of-window chunks simply return to their own instances.
+func (d *Depot) DrainRange(lo, hi uint64) [][]uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out [][]uint64
+	for cls, stack := range d.full {
+		kept := stack[:0]
+		for _, mag := range stack {
+			hit := false
+			for _, off := range mag {
+				if off >= lo && off < hi {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				out = append(out, mag)
+				d.stats.Drains++
+				d.stats.DrainedChunks += uint64(len(mag))
+			} else {
+				kept = append(kept, mag)
+			}
+		}
+		d.full[cls] = kept
+	}
+	return out
+}
+
 // DrainAll removes and returns every retained full magazine — the Scrub
 // path: depot residency does not survive a quiesce, all depot-held chunks
 // go back to the back-end. Quiescent points only.

@@ -229,6 +229,26 @@ func (a *Allocator) Scrub() {
 	}
 }
 
+// DrainDepotRange evicts every depot-parked magazine holding a chunk of
+// the global offset window [lo, hi) and batch-frees it to the back-end —
+// the elastic manager's drain hook: without it, magazines idling in the
+// depot would pin a draining instance's live count above zero forever.
+// Unlike Scrub this is safe concurrently with traffic: the depot is
+// internally locked and the frees go down the thread-safe batched
+// convenience path. Per-worker handle magazines are NOT touched (they are
+// single-owner state); chunks cached there keep a drain pending until the
+// worker churns or flushes them.
+func (a *Allocator) DrainDepotRange(lo, hi uint64) {
+	if a.depot == nil {
+		return
+	}
+	// No front-end stats here: a drained chunk's free was counted when a
+	// worker parked it, exactly like the Scrub-path depot drain.
+	for _, mag := range a.depot.DrainRange(lo, hi) {
+		alloc.FreeBatchOf(a.backend, mag)
+	}
+}
+
 // LayerStats implements alloc.LayerStatser: the front-end entry with its
 // magazine counters, then the wrapped stack's entries.
 func (a *Allocator) LayerStats() []alloc.LayerStats {
@@ -378,6 +398,32 @@ func (h *Handle) Free(offset uint64) {
 	h.mags[cls] = append(mag, offset)
 	h.cache.Refills++
 	h.stats.Frees++
+}
+
+// AllocBatch implements alloc.BatchHandle by forwarding the bulk request
+// to the back-end handle in one crossing. Like the allocator-level
+// convenience path, bulk transfers do not cache: magazines are the
+// steady-state chunk-at-a-time optimization, while a batch caller (a
+// deep ramp, a planter) wants the back-end's batched level scan — routing
+// a 512-chunk fill through per-chunk magazine misses would turn one scan
+// into 512.
+func (h *Handle) AllocBatch(size uint64, n int) []uint64 {
+	if size > h.a.geo.MaxSize {
+		h.stats.AllocFails++
+		return nil
+	}
+	out := alloc.HandleAllocBatch(h.back, size, n)
+	h.stats.Allocs += uint64(len(out))
+	if len(out) == 0 && n > 0 {
+		h.stats.AllocFails++
+	}
+	return out
+}
+
+// FreeBatch implements alloc.BatchHandle (forwarded, see AllocBatch).
+func (h *Handle) FreeBatch(offsets []uint64) {
+	alloc.HandleFreeBatch(h.back, offsets)
+	h.stats.Frees += uint64(len(offsets))
 }
 
 // Flush returns every cached chunk to the back-end, one batch per

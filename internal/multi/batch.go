@@ -8,8 +8,37 @@ package multi
 // offsets by owning instance and hands each instance its group in one
 // call, so a depot drain crossing the router stays one operation per
 // instance rather than one per chunk.
+//
+// With live tracking (elastic deployments) the batch paths follow the
+// same counter discipline as the single-chunk paths: the live counter is
+// raised by the full requested amount before the state check and settled
+// to the delivered amount afterwards, and batch frees decrement only
+// after the instance-level release completed.
 
 import "repro/internal/alloc"
+
+// tryAllocBatchOn asks slot k for up to n chunks, honouring the elastic
+// live-counter ordering (raise before the state check, settle after).
+func (h *Handle) tryAllocBatchOn(s *slot, k int, size uint64, n int) []uint64 {
+	m := h.m
+	if m.trackLive {
+		s.live.Add(int64(n))
+		if s.state.Load() != slotActive {
+			s.live.Add(int64(-n))
+			return nil
+		}
+	}
+	got := alloc.HandleAllocBatch(h.sub(s, k), size, n)
+	if m.trackLive {
+		if delta := int64(len(got) - n); delta != 0 {
+			s.live.Add(delta)
+		}
+		if len(got) > 0 {
+			s.liveBytes.Add(int64(m.reservedFor(size)) * int64(len(got)))
+		}
+	}
+	return got
+}
 
 // AllocBatch implements alloc.BatchHandle with per-instance routing.
 func (h *Handle) AllocBatch(size uint64, n int) []uint64 {
@@ -18,10 +47,20 @@ func (h *Handle) AllocBatch(size uint64, n int) []uint64 {
 	}
 	out := make([]uint64, 0, n)
 	m := h.m
-	cnt := len(h.subs)
+	t := m.tab.Load()
+	h.syncTable(t)
+	cnt := len(t.slots)
+	// Walk from a snapshot of the preference: the fallback path below may
+	// move h.pref to a serving instance mid-batch, which must not reorder
+	// the remainder of this walk.
+	pref := h.pref
 	for d := 0; d < cnt && len(out) < n; d++ {
-		k := (h.pref + d) % cnt
-		got := alloc.HandleAllocBatch(h.subs[k], size, n-len(out))
+		k := (pref + d) % cnt
+		s := t.slots[k]
+		if s == nil {
+			continue
+		}
+		got := h.tryAllocBatchOn(s, k, size, n-len(out))
 		if len(got) == 0 {
 			continue
 		}
@@ -32,6 +71,11 @@ func (h *Handle) AllocBatch(size uint64, n int) []uint64 {
 		h.stats.Allocs += uint64(len(got))
 		if d != 0 {
 			h.fallbacks += uint64(len(got))
+			if m.policy == RoundRobin {
+				// Move the preference to the serving instance, as on the
+				// single-chunk fallback path.
+				h.pref = k
+			}
 		}
 	}
 	if len(out) == 0 {
@@ -46,16 +90,31 @@ func (h *Handle) FreeBatch(offsets []uint64) {
 	if len(offsets) == 0 {
 		return
 	}
-	groups := make([][]uint64, len(h.subs))
+	m := h.m
+	t := m.tab.Load()
+	h.syncTable(t)
+	groups := make([][]uint64, len(t.slots))
 	for _, off := range offsets {
-		k, local := h.m.route(off)
+		k, local, _ := m.route(t, off)
 		groups[k] = append(groups[k], local)
 	}
 	for k, group := range groups {
 		if len(group) == 0 {
 			continue
 		}
-		alloc.HandleFreeBatch(h.subs[k], group)
+		s := t.slots[k]
+		var bytes int64
+		if m.trackLive {
+			// Read reserved sizes before the release clears the metadata.
+			for _, local := range group {
+				bytes += int64(s.sizer.ChunkSize(local))
+			}
+		}
+		alloc.HandleFreeBatch(h.sub(s, k), group)
+		if m.trackLive {
+			s.liveBytes.Add(-bytes)
+			s.live.Add(int64(-len(group)))
+		}
 		h.stats.Frees += uint64(len(group))
 	}
 }

@@ -1,0 +1,62 @@
+package multi
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+
+	_ "repro/internal/core"
+)
+
+// TestSyncTableDropsRetiredSubHandles pins the release semantics of the
+// handle sub-caches: once a slot retires and the owner goroutine
+// observes the new table, the handle must drop its cached sub-handle so
+// the retired instance's metadata is garbage-collectable — the whole
+// point of an elastic shrink.
+func TestSyncTableDropsRetiredSubHandles(t *testing.T) {
+	cfg := alloc.Config{Total: 1 << 12, MinSize: 64, MaxSize: 1 << 10}
+	m, err := New("1lvl-nb", 2, cfg, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableLiveTracking()
+	h := m.NewHandleOn(1).(*Handle)
+	off, ok := h.Alloc(64)
+	if !ok || m.InstanceOf(off) != 1 {
+		t.Fatalf("pinned alloc = (%v, instance %d)", ok, m.InstanceOf(off))
+	}
+	h.Free(off)
+	if h.subs[1] == nil {
+		t.Fatal("sub-handle for slot 1 not cached after use")
+	}
+	if err := m.StartDrain(1); err != nil {
+		t.Fatal(err)
+	}
+	if done, err := m.TryRetire(1); err != nil || !done {
+		t.Fatalf("TryRetire = (%v, %v)", done, err)
+	}
+	// The cache survives until the owner observes the new table...
+	if h.subs[1] == nil {
+		t.Fatal("sub-handle dropped before the owner observed the table change")
+	}
+	// ...and the next operation drops it.
+	off, ok = h.Alloc(64)
+	if !ok {
+		t.Fatal("alloc after retire failed")
+	}
+	h.Free(off)
+	if h.subs[1] != nil || h.subIDs[1] != 0 {
+		t.Fatalf("retired slot's sub-handle still cached after an op: subIDs[1]=%d", h.subIDs[1])
+	}
+	// A refilled hole gets a fresh sub-handle keyed by the new id.
+	k, err := m.AddInstance()
+	if err != nil || k != 1 {
+		t.Fatalf("AddInstance = (%d, %v)", k, err)
+	}
+	h2 := m.NewHandleOn(1).(*Handle)
+	off, ok = h2.Alloc(64)
+	if !ok || m.InstanceOf(off) != 1 {
+		t.Fatalf("alloc on refilled hole = (%v, instance %d)", ok, m.InstanceOf(off))
+	}
+	h2.Free(off)
+}

@@ -11,6 +11,19 @@
 // of the composable layer contract (alloc.ChunkSizer, alloc.Spanner,
 // alloc.LayerStatser, alloc.Scrubber), so caching front-ends and
 // materialized arenas stack over it transparently.
+//
+// The instance set is no longer fixed at construction: the router keeps a
+// copy-on-write slot table behind an atomic pointer, so an elastic
+// capacity manager (internal/elastic) can add instances and retire them at
+// runtime while handles keep operating lock-free. Slot k permanently owns
+// the global offset window [k*Total, (k+1)*Total) — retiring an instance
+// leaves a hole in the table rather than renumbering, so offsets of live
+// chunks on the surviving instances stay stable, and a later grow reuses
+// the hole before widening the table. Retirement is three-phase: a slot is
+// first marked draining (allocations skip it; frees keep routing to it by
+// offset), then waits until its live-chunk count reaches zero, and only
+// then is unpublished from the table (see DESIGN.md, "The elastic instance
+// lifecycle").
 package multi
 
 import (
@@ -35,16 +48,90 @@ const (
 	Fixed
 )
 
+// Slot lifecycle states.
+const (
+	// slotActive serves allocations and frees.
+	slotActive uint32 = iota
+	// slotDraining refuses new allocations but still receives frees for
+	// chunks it delivered earlier; once its live count reaches zero it can
+	// be unpublished.
+	slotDraining
+)
+
+// State is the externally visible lifecycle state of an instance slot.
+type State int
+
+const (
+	// Active slots serve allocations.
+	Active State = iota
+	// Draining slots only receive frees until their live count hits zero.
+	Draining
+	// Retired marks an unpublished hole in the table.
+	Retired
+)
+
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Draining:
+		return "draining"
+	default:
+		return "retired"
+	}
+}
+
+// slot is one instance position of the table. Slots are shared by every
+// table version that contains them: the lifecycle state and the live
+// counters live in the slot, not the table, so flipping a slot to
+// draining needs no table copy and is visible to handles still operating
+// through an older table snapshot.
+type slot struct {
+	// id is unique across the router's lifetime; handles use it to detect
+	// that a hole was refilled by a different instance and their cached
+	// sub-handle is stale.
+	id    uint64
+	a     alloc.Allocator
+	sizer alloc.ChunkSizer
+	state atomic.Uint32
+	// live and liveBytes track the chunks this slot has delivered and not
+	// yet seen freed. They are maintained only when the router's live
+	// tracking is enabled (elastic deployments); the fixed-set fast path
+	// pays nothing. live is incremented BEFORE the state check on the
+	// allocation path — see Handle.tryAllocOn for why that ordering makes
+	// the draining→zero-live→unpublish sequence race-free.
+	live      atomic.Int64
+	liveBytes atomic.Int64
+}
+
+// table is one immutable version of the instance set. Positions are
+// stable: slots[k] serves global offsets [k*span, (k+1)*span); nil marks
+// a retired hole.
+type table struct {
+	slots []*slot
+}
+
 // Multi is a set of same-geometry back-end instances behind one offset
 // space: instance k serves global offsets [k*Total, (k+1)*Total).
 type Multi struct {
-	instances []alloc.Allocator
-	sizers    []alloc.ChunkSizer
-	policy    Policy
-	span      uint64 // per-instance managed bytes
-	next      atomic.Uint64
+	variant  string
+	cfg      alloc.Config
+	policy   Policy
+	span     uint64 // per-instance managed bytes
+	geo      geometry.Geometry
+	leafName string
+	// trackLive enables the per-slot live accounting the elastic lifecycle
+	// needs. It must be set (EnableLiveTracking) before the router serves
+	// any traffic and never changes afterwards.
+	trackLive bool
 
-	mu      sync.Mutex
+	tab  atomic.Pointer[table]
+	next atomic.Uint64
+
+	mu     sync.Mutex
+	nextID uint64
+	// handles is the registry of all handles ever created (for stats
+	// aggregation at quiescent points).
 	handles []*Handle
 	// free holds idle convenience handles for Multi.Alloc/Free. A plain
 	// free list (not sync.Pool) keeps the permanently-registered handle
@@ -59,52 +146,131 @@ func New(variant string, count int, cfg alloc.Config, policy Policy) (*Multi, er
 	if count <= 0 {
 		return nil, fmt.Errorf("multi: instance count %d must be positive", count)
 	}
-	m := &Multi{policy: policy, span: cfg.Total}
+	m := &Multi{variant: variant, cfg: cfg, policy: policy, span: cfg.Total}
+	slots := make([]*slot, count)
 	for i := 0; i < count; i++ {
-		a, err := alloc.Build(variant, cfg)
+		s, err := m.buildSlot()
 		if err != nil {
 			return nil, fmt.Errorf("multi: instance %d: %w", i, err)
 		}
-		sizer, ok := a.(alloc.ChunkSizer)
-		if !ok {
-			return nil, fmt.Errorf("multi: back-end %s cannot report chunk sizes", a.Name())
-		}
-		m.instances = append(m.instances, a)
-		m.sizers = append(m.sizers, sizer)
+		slots[i] = s
 	}
+	m.geo = slots[0].a.Geometry()
+	m.leafName = slots[0].a.Name()
+	m.tab.Store(&table{slots: slots})
 	return m, nil
 }
 
+// buildSlot constructs one leaf instance and wraps it in a fresh slot.
+// Callers must hold m.mu except during New.
+func (m *Multi) buildSlot() (*slot, error) {
+	a, err := alloc.Build(m.variant, m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	sizer, ok := a.(alloc.ChunkSizer)
+	if !ok {
+		return nil, fmt.Errorf("multi: back-end %s cannot report chunk sizes", a.Name())
+	}
+	m.nextID++
+	return &slot{id: m.nextID, a: a, sizer: sizer}, nil
+}
+
+// EnableLiveTracking turns on the per-slot live accounting that the
+// draining→zero-live→unpublish retirement sequence depends on. It must be
+// called before the router serves any traffic (the elastic manager calls
+// it at construction); chunks delivered before tracking was enabled would
+// be invisible to the counters and break the retirement argument.
+func (m *Multi) EnableLiveTracking() { m.trackLive = true }
+
+// LiveTracking reports whether per-slot live accounting is enabled.
+func (m *Multi) LiveTracking() bool { return m.trackLive }
+
 // Name implements alloc.Allocator.
 func (m *Multi) Name() string {
-	return fmt.Sprintf("multi[%dx %s]", len(m.instances), m.instances[0].Name())
+	return fmt.Sprintf("multi[%dx %s]", m.Instances(), m.leafName)
 }
 
 // Geometry implements alloc.Allocator; it reports the per-instance
 // geometry (instances are identical). The global offset space is wider:
 // see OffsetSpan.
-func (m *Multi) Geometry() geometry.Geometry { return m.instances[0].Geometry() }
+func (m *Multi) Geometry() geometry.Geometry { return m.geo }
 
 // OffsetSpan implements alloc.Spanner: the router serves global offsets
-// [0, Instances*Total).
-func (m *Multi) OffsetSpan() uint64 { return m.span * uint64(len(m.instances)) }
+// [0, Slots*Total). Retired holes keep their window reserved (offsets on
+// surviving instances never move), so the span only ever grows.
+func (m *Multi) OffsetSpan() uint64 { return m.span * uint64(len(m.tab.Load().slots)) }
 
-// Instances returns the number of composed back-ends.
-func (m *Multi) Instances() int { return len(m.instances) }
+// InstanceSpan returns the per-instance managed bytes (the width of one
+// slot's offset window).
+func (m *Multi) InstanceSpan() uint64 { return m.span }
 
-// Instance returns the k-th composed back-end (for per-instance stats).
-func (m *Multi) Instance(k int) alloc.Allocator { return m.instances[k] }
+// Instances returns the number of published back-end instances (active or
+// draining; retired holes excluded).
+func (m *Multi) Instances() int {
+	n := 0
+	for _, s := range m.tab.Load().slots {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}
 
-// InstanceOf returns which instance serves a global offset.
+// ActiveInstances returns the number of slots currently accepting
+// allocations.
+func (m *Multi) ActiveInstances() int {
+	n := 0
+	for _, s := range m.tab.Load().slots {
+		if s != nil && s.state.Load() == slotActive {
+			n++
+		}
+	}
+	return n
+}
+
+// Slots returns the table length, retired holes included — the divisor of
+// the global offset space.
+func (m *Multi) Slots() int { return len(m.tab.Load().slots) }
+
+// Instance returns the k-th published back-end (for per-instance stats).
+// With an elastic lifecycle the slot may be a retired hole; Instance then
+// returns the first published instance so leaf-probing stack walkers keep
+// working, and panics only when nothing is published (impossible: the
+// router never retires its last instance).
+func (m *Multi) Instance(k int) alloc.Allocator {
+	t := m.tab.Load()
+	if k < len(t.slots) && t.slots[k] != nil {
+		return t.slots[k].a
+	}
+	for _, s := range t.slots {
+		if s != nil {
+			return s.a
+		}
+	}
+	panic("multi: no published instances")
+}
+
+// InstanceOf returns which instance slot serves a global offset.
 func (m *Multi) InstanceOf(offset uint64) int { return int(offset / m.span) }
 
-// route validates a global offset and splits it into (instance, local).
-func (m *Multi) route(offset uint64) (int, uint64) {
+// route validates a global offset and splits it into (slot, local).
+func (m *Multi) route(t *table, offset uint64) (int, uint64, *slot) {
 	k := m.InstanceOf(offset)
-	if k >= len(m.instances) {
-		panic(fmt.Sprintf("multi: offset %#x outside the %d-instance offset space", offset, len(m.instances)))
+	if k >= len(t.slots) {
+		panic(fmt.Sprintf("multi: offset %#x outside the %d-slot offset space", offset, len(t.slots)))
 	}
-	return k, offset - uint64(k)*m.span
+	s := t.slots[k]
+	if s == nil {
+		panic(fmt.Sprintf("multi: offset %#x routes to retired slot %d", offset, k))
+	}
+	return k, offset - uint64(k)*m.span, s
+}
+
+// reservedFor returns the reserved (power-of-two) size class a request
+// rounds to — the delta the live-byte accounting applies per allocation.
+func (m *Multi) reservedFor(size uint64) uint64 {
+	return m.geo.SizeOfLevel(m.geo.LevelForSize(size))
 }
 
 // getConv pops an idle convenience handle, creating one only when all
@@ -151,59 +317,76 @@ func (m *Multi) Free(offset uint64) {
 // ChunkSize implements alloc.ChunkSizer by routing the global offset to
 // the owning instance's metadata.
 func (m *Multi) ChunkSize(offset uint64) uint64 {
-	k, local := m.route(offset)
-	return m.sizers[k].ChunkSize(local)
+	_, local, s := m.route(m.tab.Load(), offset)
+	return s.sizer.ChunkSize(local)
 }
 
-// Scrub implements alloc.Scrubber: it forwards to every instance that
-// supports scrubbing. Like any Scrub, quiescent points only.
+// Scrub implements alloc.Scrubber: it forwards to every published
+// instance that supports scrubbing. Like any Scrub, quiescent points only.
 func (m *Multi) Scrub() {
-	for _, inst := range m.instances {
-		if s, ok := inst.(alloc.Scrubber); ok {
-			s.Scrub()
+	for _, s := range m.tab.Load().slots {
+		if s == nil {
+			continue
+		}
+		if sc, ok := s.a.(alloc.Scrubber); ok {
+			sc.Scrub()
 		}
 	}
 }
 
-// prefer picks the preferred instance for the next handle by policy.
+// prefer picks the preferred slot for the next handle by policy, skipping
+// holes and draining slots when possible.
 func (m *Multi) prefer() int {
+	t := m.tab.Load()
+	n := len(t.slots)
 	if m.policy == RoundRobin {
-		return int(m.next.Add(1)-1) % len(m.instances)
+		start := int(m.next.Add(1)-1) % n
+		for d := 0; d < n; d++ {
+			k := (start + d) % n
+			if s := t.slots[k]; s != nil && s.state.Load() == slotActive {
+				return k
+			}
+		}
+		return start
 	}
 	return 0
 }
 
 // NewHandle implements alloc.Allocator: the handle carries the preferred
-// instance chosen by the policy plus per-instance sub-handles.
+// instance chosen by the policy; per-instance sub-handles are created
+// lazily as the handle's operations touch slots, so handles follow the
+// table as it grows.
 func (m *Multi) NewHandle() alloc.Handle { return m.newHandle(m.prefer()) }
 
-// NewHandleOn returns a handle pinned to the given preferred instance —
+// NewHandleOn returns a handle pinned to the given preferred slot —
 // the explicit memory-policy binding (a thread bound to a NUMA node)
 // that the Fixed policy hard-wires to instance 0.
 func (m *Multi) NewHandleOn(instance int) alloc.Handle {
-	if instance < 0 || instance >= len(m.instances) {
-		panic(fmt.Sprintf("multi: NewHandleOn(%d) with %d instances", instance, len(m.instances)))
+	t := m.tab.Load()
+	if instance < 0 || instance >= len(t.slots) || t.slots[instance] == nil {
+		panic(fmt.Sprintf("multi: NewHandleOn(%d) with %d slots", instance, len(t.slots)))
 	}
 	return m.newHandle(instance)
 }
 
 func (m *Multi) newHandle(pref int) *Handle {
-	h := &Handle{m: m, pref: pref, subs: make([]alloc.Handle, len(m.instances))}
-	for i, inst := range m.instances {
-		h.subs[i] = inst.NewHandle()
-	}
+	h := &Handle{m: m, pref: pref}
 	m.mu.Lock()
 	m.handles = append(m.handles, h)
 	m.mu.Unlock()
 	return h
 }
 
-// Stats aggregates all instances (the back-end view of the traffic; the
-// routing layer's own counters are in LayerStats).
+// Stats aggregates all published instances (the back-end view of the
+// traffic; the routing layer's own counters are in LayerStats). Instances
+// retire only when fully drained — their allocs and frees are balanced —
+// so dropping them keeps the aggregate balanced.
 func (m *Multi) Stats() alloc.Stats {
 	var total alloc.Stats
-	for _, inst := range m.instances {
-		total.Add(inst.Stats())
+	for _, s := range m.tab.Load().slots {
+		if s != nil {
+			total.Add(s.a.Stats())
+		}
 	}
 	return total
 }
@@ -255,48 +438,304 @@ func (m *Multi) LayerStats() []alloc.LayerStats {
 		Layer: m.Name(),
 		Stats: routing,
 		Extra: map[string]uint64{
-			"instances": uint64(len(m.instances)),
+			"instances": uint64(m.Instances()),
+			"active":    uint64(m.ActiveInstances()),
+			"slots":     uint64(m.Slots()),
 			"fallbacks": fallbacks,
 		},
 	}
 	backend := alloc.LayerStats{
-		Layer: fmt.Sprintf("%s x%d", m.instances[0].Name(), len(m.instances)),
+		Layer: fmt.Sprintf("%s x%d", m.leafName, m.Instances()),
 		Stats: m.Stats(),
 	}
 	return []alloc.LayerStats{entry, backend}
 }
 
-// Handle is the per-worker face of the composed allocator.
+// AddInstance builds a fresh instance of the router's variant and
+// publishes it: into the first retired hole when one exists (keeping the
+// offset span stable), otherwise appended to the table (widening the
+// global offset space by one instance span). It returns the slot index.
+// Table mutations are serialized by the router's mutex; readers stay
+// lock-free on the atomic table pointer. Publication order: the instance
+// is fully constructed before the table carrying it is stored, so any
+// handle that can see the slot sees a complete instance.
+func (m *Multi) AddInstance() (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, err := m.buildSlot()
+	if err != nil {
+		return 0, fmt.Errorf("multi: adding instance: %w", err)
+	}
+	old := m.tab.Load()
+	slots := append([]*slot(nil), old.slots...)
+	k := -1
+	for i, existing := range slots {
+		if existing == nil {
+			k = i
+			break
+		}
+	}
+	if k < 0 {
+		slots = append(slots, nil)
+		k = len(slots) - 1
+	}
+	slots[k] = s
+	m.tab.Store(&table{slots: slots})
+	return k, nil
+}
+
+// StartDrain flips slot k from active to draining: handles stop
+// allocating from it (the state check on the allocation path) while frees
+// keep routing to it by offset. Draining the last active slot is refused —
+// the router never goes allocation-dead. Requires live tracking.
+func (m *Multi) StartDrain(k int) error {
+	if !m.trackLive {
+		return fmt.Errorf("multi: StartDrain without live tracking")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tab.Load()
+	if k < 0 || k >= len(t.slots) || t.slots[k] == nil {
+		return fmt.Errorf("multi: StartDrain(%d): no such instance", k)
+	}
+	s := t.slots[k]
+	if s.state.Load() != slotActive {
+		return fmt.Errorf("multi: StartDrain(%d): already draining", k)
+	}
+	active := 0
+	for _, other := range t.slots {
+		if other != nil && other.state.Load() == slotActive {
+			active++
+		}
+	}
+	if active <= 1 {
+		return fmt.Errorf("multi: StartDrain(%d) would leave no active instance", k)
+	}
+	s.state.Store(slotDraining)
+	return nil
+}
+
+// Reactivate flips a draining slot back to active — the cheap grow path
+// when capacity pressure returns before the drain completed.
+func (m *Multi) Reactivate(k int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tab.Load()
+	if k < 0 || k >= len(t.slots) || t.slots[k] == nil {
+		return fmt.Errorf("multi: Reactivate(%d): no such instance", k)
+	}
+	s := t.slots[k]
+	if s.state.Load() != slotDraining {
+		return fmt.Errorf("multi: Reactivate(%d): not draining", k)
+	}
+	s.state.Store(slotActive)
+	return nil
+}
+
+// TryRetire unpublishes a fully drained slot: it succeeds only when the
+// slot is draining and its live-chunk count is zero, replacing the table
+// with a copy holding a hole at k. Why this is safe under concurrent
+// allocation: the allocation path increments the slot's live counter
+// BEFORE loading the state, and TryRetire loads the counter AFTER the
+// draining state was stored. Under Go's sequentially consistent atomics,
+// observing live==0 here therefore proves that every allocation attempt
+// that could still deliver from this slot will load the state after the
+// draining store — and back off. Frees need no such argument: live==0
+// means no chunk of this slot is outstanding, so no legal free can route
+// here again.
+func (m *Multi) TryRetire(k int) (bool, error) {
+	if !m.trackLive {
+		return false, fmt.Errorf("multi: TryRetire without live tracking")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tab.Load()
+	if k < 0 || k >= len(t.slots) || t.slots[k] == nil {
+		return false, fmt.Errorf("multi: TryRetire(%d): no such instance", k)
+	}
+	s := t.slots[k]
+	if s.state.Load() != slotDraining {
+		return false, fmt.Errorf("multi: TryRetire(%d): not draining", k)
+	}
+	if s.live.Load() != 0 {
+		return false, nil
+	}
+	slots := append([]*slot(nil), t.slots...)
+	slots[k] = nil
+	m.tab.Store(&table{slots: slots})
+	return true, nil
+}
+
+// InstanceInfo is one slot's lifecycle snapshot.
+type InstanceInfo struct {
+	// Slot is the table position (== offset window index).
+	Slot int
+	// State is the lifecycle state; Retired slots carry no other data.
+	State State
+	// Live is the number of delivered, not-yet-freed chunks (live
+	// tracking only; 0 otherwise).
+	Live int64
+	// LiveBytes is the reserved bytes of those chunks.
+	LiveBytes int64
+	// Name labels the instance's leaf allocator.
+	Name string
+}
+
+// InstanceInfos returns a lifecycle snapshot of every table slot,
+// retired holes included.
+func (m *Multi) InstanceInfos() []InstanceInfo {
+	t := m.tab.Load()
+	out := make([]InstanceInfo, len(t.slots))
+	for k, s := range t.slots {
+		if s == nil {
+			out[k] = InstanceInfo{Slot: k, State: Retired}
+			continue
+		}
+		st := Active
+		if s.state.Load() == slotDraining {
+			st = Draining
+		}
+		out[k] = InstanceInfo{
+			Slot:      k,
+			State:     st,
+			Live:      s.live.Load(),
+			LiveBytes: s.liveBytes.Load(),
+			Name:      s.a.Name(),
+		}
+	}
+	return out
+}
+
+// Handle is the per-worker face of the composed allocator. Sub-handles
+// are created lazily per slot, re-created when a hole is refilled by a
+// new instance (detected by slot id), and dropped when the handle
+// observes a table in which their slot retired — otherwise every handle
+// that ever touched an instance would pin its metadata after the elastic
+// manager unpublished it, defeating the point of the shrink.
 type Handle struct {
 	m         *Multi
 	pref      int
+	tabSeen   *table
 	subs      []alloc.Handle
+	subIDs    []uint64
 	stats     alloc.Stats
 	fallbacks uint64
 }
 
+// syncTable drops cached sub-handles whose slot the given table no longer
+// backs with the same instance, so a retired instance becomes collectable
+// as soon as the owner goroutine observes the change. It runs once per
+// published table version (a pointer compare on the fast path). Handles
+// that stop operating keep their last snapshot pinned — the same
+// monotonic-registry caveat DESIGN.md documents for handles themselves.
+func (h *Handle) syncTable(t *table) {
+	if h.tabSeen == t {
+		return
+	}
+	h.tabSeen = t
+	for k := range h.subs {
+		if h.subs[k] == nil {
+			continue
+		}
+		if k >= len(t.slots) || t.slots[k] == nil || t.slots[k].id != h.subIDs[k] {
+			h.subs[k] = nil
+			h.subIDs[k] = 0
+		}
+	}
+}
+
+// sub returns the handle's per-worker sub-handle for slot k, creating or
+// refreshing it when the slot changed identity since the last visit.
+func (h *Handle) sub(s *slot, k int) alloc.Handle {
+	for k >= len(h.subs) {
+		h.subs = append(h.subs, nil)
+		h.subIDs = append(h.subIDs, 0)
+	}
+	if h.subIDs[k] != s.id {
+		h.subs[k] = s.a.NewHandle()
+		h.subIDs[k] = s.id
+	}
+	return h.subs[k]
+}
+
+// tryAllocOn attempts one allocation on slot k. With live tracking the
+// counter is incremented BEFORE the state check: either TryRetire
+// observes the increment (live > 0, retirement refused), or this load
+// observes the draining state and backs off — there is no interleaving in
+// which a chunk is delivered from a slot that was already judged empty.
+func (h *Handle) tryAllocOn(s *slot, k int, size uint64) (uint64, bool) {
+	m := h.m
+	if m.trackLive {
+		s.live.Add(1)
+		if s.state.Load() != slotActive {
+			s.live.Add(-1)
+			return 0, false
+		}
+	}
+	off, ok := h.sub(s, k).Alloc(size)
+	if !ok {
+		if m.trackLive {
+			s.live.Add(-1)
+		}
+		return 0, false
+	}
+	if m.trackLive {
+		s.liveBytes.Add(int64(m.reservedFor(size)))
+	}
+	return uint64(k)*m.span + off, true
+}
+
 // Alloc tries the preferred instance first and falls back to the others in
-// order, the kernel's zone-fallback discipline.
+// order, the kernel's zone-fallback discipline. Holes and draining slots
+// are skipped. A round-robin handle that fell back moves its preference
+// to the instance that served (the kernel's cached zone-iterator
+// position): without the hint, every allocation against a saturated
+// preferred instance re-walks its full level scan before falling back —
+// quadratic exactly when a fleet runs near capacity, the regime the
+// elastic manager operates in. Fixed-policy handles never move (the
+// pinning is the experiment).
 func (h *Handle) Alloc(size uint64) (uint64, bool) {
-	n := len(h.subs)
+	t := h.m.tab.Load()
+	h.syncTable(t)
+	n := len(t.slots)
 	for d := 0; d < n; d++ {
 		k := (h.pref + d) % n
-		if off, ok := h.subs[k].Alloc(size); ok {
+		s := t.slots[k]
+		if s == nil {
+			continue
+		}
+		if off, ok := h.tryAllocOn(s, k, size); ok {
 			h.stats.Allocs++
 			if d != 0 {
 				h.fallbacks++
+				if h.m.policy == RoundRobin {
+					h.pref = k
+				}
 			}
-			return uint64(k)*h.m.span + off, true
+			return off, true
 		}
 	}
 	h.stats.AllocFails++
 	return 0, false
 }
 
-// Free routes the offset back to its owning instance.
+// Free routes the offset back to its owning instance. The live counter is
+// decremented only after the instance-level free completed, so a slot
+// observed at live==0 has fully quiesced.
 func (h *Handle) Free(offset uint64) {
-	k, local := h.m.route(offset)
-	h.subs[k].Free(local)
+	m := h.m
+	t := m.tab.Load()
+	h.syncTable(t)
+	k, local, s := m.route(t, offset)
+	if m.trackLive {
+		// Read the reserved size before the free clears the metadata.
+		reserved := s.sizer.ChunkSize(local)
+		h.sub(s, k).Free(local)
+		s.liveBytes.Add(-int64(reserved))
+		s.live.Add(-1)
+	} else {
+		h.sub(s, k).Free(local)
+	}
 	h.stats.Frees++
 }
 

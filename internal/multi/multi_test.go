@@ -246,6 +246,163 @@ func TestRouteStatsCountFallbacks(t *testing.T) {
 	}
 }
 
+// elasticRouter builds a router with live tracking on, as the elastic
+// manager does at construction.
+func elasticRouter(t *testing.T, count int) *multi.Multi {
+	t.Helper()
+	m, err := multi.New("1lvl-nb", count, per, multi.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableLiveTracking()
+	return m
+}
+
+func TestLifecycleRequiresLiveTracking(t *testing.T) {
+	m, err := multi.New("1lvl-nb", 2, per, multi.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartDrain(1); err == nil {
+		t.Error("StartDrain without live tracking accepted")
+	}
+	if _, err := m.TryRetire(1); err == nil {
+		t.Error("TryRetire without live tracking accepted")
+	}
+}
+
+func TestAddInstanceWidensThenReusesHoles(t *testing.T) {
+	m := elasticRouter(t, 2)
+	if got := alloc.SpanOf(m); got != 2*per.Total {
+		t.Fatalf("initial span = %d", got)
+	}
+	// Appending widens the table.
+	k, err := m.AddInstance()
+	if err != nil || k != 2 {
+		t.Fatalf("AddInstance = (%d, %v), want slot 2", k, err)
+	}
+	if got := alloc.SpanOf(m); got != 3*per.Total {
+		t.Fatalf("span after append = %d, want %d", got, 3*per.Total)
+	}
+	// Retire slot 1 and grow again: the hole is reused, the span is
+	// unchanged, and the slot serves its old offset window.
+	if err := m.StartDrain(1); err != nil {
+		t.Fatal(err)
+	}
+	if done, err := m.TryRetire(1); err != nil || !done {
+		t.Fatalf("TryRetire(1) = (%v, %v)", done, err)
+	}
+	if got := m.Instances(); got != 2 {
+		t.Fatalf("Instances after retire = %d, want 2", got)
+	}
+	k, err = m.AddInstance()
+	if err != nil || k != 1 {
+		t.Fatalf("AddInstance after retire = (%d, %v), want hole 1", k, err)
+	}
+	if got := alloc.SpanOf(m); got != 3*per.Total {
+		t.Fatalf("span after hole reuse = %d, want %d", got, 3*per.Total)
+	}
+	h := m.NewHandleOn(1)
+	off, ok := h.Alloc(64)
+	if !ok || m.InstanceOf(off) != 1 {
+		t.Fatalf("refilled slot alloc = (%v, instance %d)", ok, m.InstanceOf(off))
+	}
+	h.Free(off)
+}
+
+func TestDrainingReceivesFreesRefusesAllocs(t *testing.T) {
+	m := elasticRouter(t, 2)
+	h := m.NewHandleOn(0)
+	off, ok := h.Alloc(64)
+	if !ok || m.InstanceOf(off) != 0 {
+		t.Fatalf("pinned alloc = (%v, instance %d)", ok, m.InstanceOf(off))
+	}
+	if err := m.StartDrain(0); err != nil {
+		t.Fatal(err)
+	}
+	// New allocations skip the draining slot even for a handle that
+	// prefers it.
+	off2, ok := h.Alloc(64)
+	if !ok || m.InstanceOf(off2) != 1 {
+		t.Fatalf("alloc during drain = (%v, instance %d), want fallback to 1", ok, m.InstanceOf(off2))
+	}
+	// Retirement is refused while the chunk is live.
+	if done, err := m.TryRetire(0); err != nil || done {
+		t.Fatalf("TryRetire with a live chunk = (%v, %v)", done, err)
+	}
+	// The free routes back to the draining instance by offset, after
+	// which retirement succeeds.
+	h.Free(off)
+	if done, err := m.TryRetire(0); err != nil || !done {
+		t.Fatalf("TryRetire after the free = (%v, %v)", done, err)
+	}
+	h.Free(off2)
+	// Freeing into a retired window panics (nothing can legally be live
+	// there).
+	defer func() {
+		if recover() == nil {
+			t.Error("free into a retired slot's window did not panic")
+		}
+	}()
+	m.Free(off)
+}
+
+func TestStartDrainRefusesLastActive(t *testing.T) {
+	m := elasticRouter(t, 2)
+	if err := m.StartDrain(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartDrain(1); err == nil {
+		t.Error("draining the last active instance accepted")
+	}
+	if err := m.Reactivate(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reactivate(0); err == nil {
+		t.Error("reactivating an active instance accepted")
+	}
+}
+
+func TestInstanceInfosTrackLiveBytes(t *testing.T) {
+	m := elasticRouter(t, 2)
+	h := m.NewHandleOn(0)
+	off, ok := h.Alloc(100) // reserves 128
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	infos := m.InstanceInfos()
+	if infos[0].State != multi.Active || infos[0].Live != 1 || infos[0].LiveBytes != 128 {
+		t.Fatalf("slot 0 info = %+v, want active live=1 liveBytes=128", infos[0])
+	}
+	if infos[1].Live != 0 {
+		t.Fatalf("slot 1 info = %+v, want empty", infos[1])
+	}
+	h.Free(off)
+	infos = m.InstanceInfos()
+	if infos[0].Live != 0 || infos[0].LiveBytes != 0 {
+		t.Fatalf("slot 0 info after free = %+v", infos[0])
+	}
+	// Batched ops settle the counters identically.
+	batch := alloc.HandleAllocBatch(h, 64, 5)
+	if len(batch) != 5 {
+		t.Fatalf("batch = %d chunks", len(batch))
+	}
+	var live, liveBytes int64
+	for _, info := range m.InstanceInfos() {
+		live += info.Live
+		liveBytes += info.LiveBytes
+	}
+	if live != 5 || liveBytes != 5*64 {
+		t.Fatalf("after batch: live=%d liveBytes=%d, want 5/320", live, liveBytes)
+	}
+	alloc.HandleFreeBatch(h, batch)
+	for _, info := range m.InstanceInfos() {
+		if info.Live != 0 || info.LiveBytes != 0 {
+			t.Fatalf("slot %d not settled after batch free: %+v", info.Slot, info)
+		}
+	}
+}
+
 func TestScrubForwardsToInstances(t *testing.T) {
 	m, err := multi.New("1lvl-nb", 2, per, multi.RoundRobin)
 	if err != nil {

@@ -100,7 +100,7 @@ func TestConformanceFullStack(t *testing.T) {
 func TestConformanceRegistryComposites(t *testing.T) {
 	for _, name := range []string{
 		"cached+4lvl-nb", "multi4+4lvl-nb", "cached+multi4+4lvl-nb",
-		"depot+4lvl-nb", "depot+multi4+4lvl-nb",
+		"depot+4lvl-nb", "depot+multi4+4lvl-nb", "elastic+multi+4lvl-nb",
 	} {
 		t.Run(name, func(t *testing.T) { alloctest.Run(t, name) })
 	}

@@ -5,13 +5,17 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/alloctest"
+	"repro/internal/elastic"
+	"repro/internal/stack"
 )
 
 // TestDifferentialRegistryComposites fuzzes every registry composite —
-// the PR-1 stacks and the depot-backed ones — against the map-based
-// oracle: random single/batched alloc/free sequences with interleaved
-// quiescent Scrubs, checking no double-hand-out, exact ChunkSize
-// reporting, and per-layer stats reconciliation after the drain.
+// the PR-1 stacks, the depot-backed ones, and the elastic composite
+// (whose runs additionally interleave Poll-driven grow/drain/retire) —
+// against the map-based oracle: random single/batched alloc/free
+// sequences with interleaved quiescent Scrubs, checking no
+// double-hand-out, exact ChunkSize reporting, and per-layer stats
+// reconciliation after the drain.
 func TestDifferentialRegistryComposites(t *testing.T) {
 	composites := []string{
 		"cached+4lvl-nb",
@@ -19,6 +23,7 @@ func TestDifferentialRegistryComposites(t *testing.T) {
 		"cached+multi4+4lvl-nb",
 		"depot+4lvl-nb",
 		"depot+multi4+4lvl-nb",
+		"elastic+multi+4lvl-nb",
 	}
 	for _, name := range composites {
 		name := name
@@ -34,6 +39,30 @@ func TestDifferentialRegistryComposites(t *testing.T) {
 			})
 		})
 	}
+}
+
+// TestDifferentialDepotElastic fuzzes the full elastic cooperation path:
+// the magazine depot stacked over the capacity manager, so the
+// interleaved Shrink/Poll steps exercise the depot drain hook — parked
+// magazines overlapping a draining instance's window must go back down
+// for its live count to reach zero.
+func TestDifferentialDepotElastic(t *testing.T) {
+	t.Parallel()
+	alloctest.RunDifferential(t, func(t *testing.T, total, minSize, maxSize uint64) alloc.Allocator {
+		t.Helper()
+		n := instancesFor(4, total, maxSize)
+		st, err := stack.Build(stack.Spec{
+			Variant:   "4lvl-nb",
+			Per:       alloc.Config{Total: total / uint64(n), MinSize: minSize, MaxSize: maxSize},
+			Instances: n,
+			Elastic:   &elastic.Config{MinInstances: 1, MaxInstances: 2 * n},
+			Depot:     true, Magazine: 8,
+		})
+		if err != nil {
+			t.Fatalf("stack.Build: %v", err)
+		}
+		return st.Top
+	})
 }
 
 // TestDifferentialLeaves anchors the oracle against the bare leaf

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/arena"
+	"repro/internal/elastic"
 	"repro/internal/frontend"
 	"repro/internal/multi"
 	"repro/internal/trace"
@@ -45,6 +46,12 @@ type Spec struct {
 	Instances int
 	// Policy selects handle routing for the multi router.
 	Policy multi.Policy
+	// Elastic, when non-nil, wraps the router with the capacity manager:
+	// the instance set grows and shrinks at runtime under the given
+	// watermark policy (Instances is the initial set). Requires
+	// Instances >= 1 and excludes Materialize (a materialized region
+	// cannot follow a growing offset span).
+	Elastic *elastic.Config
 	// Cached inserts the caching front-end; Magazine is the per-class
 	// capacity (0 = frontend.DefaultMagazine).
 	Cached   bool
@@ -77,6 +84,8 @@ type Stack struct {
 	Backend alloc.Allocator
 	// Multi is the router layer (nil for single-instance stacks).
 	Multi *multi.Multi
+	// Elastic is the capacity manager (nil when Spec.Elastic was nil).
+	Elastic *elastic.Manager
 	// Frontend is the caching layer (nil when not Cached).
 	Frontend *frontend.Allocator
 	// Trace is the recording layer (nil when Record was nil).
@@ -111,6 +120,14 @@ func leafOf(a alloc.Allocator) alloc.Allocator {
 // Build assembles the stack described by the spec.
 func Build(s Spec) (*Stack, error) {
 	st := &Stack{Variant: s.Variant}
+	if s.Elastic != nil {
+		if s.Instances < 1 {
+			return nil, fmt.Errorf("stack: elastic requires the multi router (Instances >= 1)")
+		}
+		if s.Materialize {
+			return nil, fmt.Errorf("stack: elastic stacks cannot materialize (the offset span grows at runtime)")
+		}
+	}
 	if s.Instances >= 1 {
 		m, err := multi.New(s.Variant, s.Instances, s.Per, s.Policy)
 		if err != nil {
@@ -131,6 +148,14 @@ func Build(s Spec) (*Stack, error) {
 	_, st.scrubbable = leafOf(st.Backend).(alloc.Scrubber)
 
 	st.Top = st.Backend
+	if s.Elastic != nil {
+		mgr, err := elastic.New(st.Multi, *s.Elastic)
+		if err != nil {
+			return nil, err
+		}
+		st.Elastic = mgr
+		st.Top = mgr
+	}
 	if s.Cached || s.Depot {
 		var feOpts []frontend.Option
 		if s.Depot {
@@ -145,6 +170,12 @@ func Build(s Spec) (*Stack, error) {
 		}
 		st.Frontend = fe
 		st.Top = fe
+		if st.Elastic != nil {
+			// Depot cooperation: a shrink must be able to pull depot-parked
+			// magazines of the draining instance back down, or its live
+			// count never reaches zero. (No-op without a depot.)
+			st.Elastic.OnDrainRange(fe.DrainDepotRange)
+		}
 	}
 	if s.Record != nil {
 		tr, err := trace.NewAllocator(st.Top, s.Record)
@@ -240,6 +271,20 @@ func init() {
 	alloc.Register("depot+multi4+4lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
 		n := registryInstances(4, cfg)
 		st, err := Build(Spec{Variant: "4lvl-nb", Per: perConfig(cfg, n), Instances: n, Depot: true})
+		if err != nil {
+			return nil, err
+		}
+		return st.Top, nil
+	})
+	// Elastic composite: the capacity manager over the multi router. The
+	// initial set covers the requested global span (so conformance runs
+	// that never Poll see the usual fixed geometry); the manager may
+	// retire down to one instance at low utilization and grow up to twice
+	// the initial set at high, once something drives Poll.
+	alloc.Register("elastic+multi+4lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
+		n := registryInstances(4, cfg)
+		ec := &elastic.Config{MinInstances: 1, MaxInstances: 2 * n}
+		st, err := Build(Spec{Variant: "4lvl-nb", Per: perConfig(cfg, n), Instances: n, Elastic: ec})
 		if err != nil {
 			return nil, err
 		}

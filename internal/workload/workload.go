@@ -20,6 +20,13 @@
 //     pre-fragmented with a checkerboard of long-lived chunks, so every
 //     level scan walks long occupied runs before finding a hole — the
 //     pattern that stresses the packed status tree's SWAR scan.
+//   - Burst (this repository's): a sawtooth live-set — every thread ramps
+//     its holdings to a peak above the elastic high watermark, holds,
+//     drains to a trough below the low watermark, holds, and repeats —
+//     the diurnal/bursty pattern an elastic capacity manager exists for.
+//     When the allocator stack contains one, the driver polls it at phase
+//     boundaries and during the holds, so instances grow at peak and
+//     drain/retire at trough; on fixed stacks it is a pure sawtooth.
 //
 // Every driver takes a prebuilt allocator instance and a Config whose
 // operation counts follow the paper (20M/T for Linux Scalability and
@@ -94,6 +101,7 @@ var Drivers = map[string]Func{
 	"constant-occupancy": ConstantOccupancy,
 	"remote-free":        RemoteFree,
 	"frag":               Frag,
+	"burst":              Burst,
 }
 
 // run spawns cfg.Threads workers, waits for all to finish, and accounts
@@ -330,6 +338,142 @@ func Frag(a alloc.Allocator, cfg Config) Result {
 	})
 	alloc.FreeBatchOf(a, keep)
 	return res
+}
+
+// Poller is the capacity-manager face the burst driver looks for in an
+// allocator stack: Tick advances the elastic grow/drain/retire lifecycle
+// by one observation step (elastic.Manager implements it). Drivers walk
+// the stack's Unwrap chain, so the manager is found under caching or
+// tracing layers too.
+type Poller interface{ Tick() }
+
+// pollerOf walks the stack outside-in for a capacity manager.
+func pollerOf(a alloc.Allocator) Poller {
+	for a != nil {
+		if p, ok := a.(Poller); ok {
+			return p
+		}
+		u, ok := a.(interface{ Unwrap() alloc.Allocator })
+		if !ok {
+			return nil
+		}
+		a = u.Unwrap()
+	}
+	return nil
+}
+
+// Burst sawtooth shape, as fractions of the initial offset span: the peak
+// sits above the elastic manager's default high watermark (so held peaks
+// demand growth) and the trough far below the low watermark (so held
+// troughs demand retirement). Ramp and drain move memory through the
+// bulk-transfer contract in burstBatch-chunk steps: a deep fill through
+// single allocations re-probes the collectively delivered run on every
+// call (the quadratic pattern the PR 2 batch rover fixed — the frag
+// planter moved to bulk fills for the same reason), while the batched
+// level scan advances past everything it walked.
+const (
+	burstPeakNum, burstPeakDen = 17, 20 // 85% of the initial span
+	burstTroughDiv             = 16     // trough = peak/16 (~5.3%)
+	burstBatch                 = 512    // bulk-contract step of ramp/drain
+)
+
+// Burst: the elastic-capacity driver. Every thread cycles its private
+// live set through a sawtooth — ramp to peak, hold (churn at constant
+// occupancy), drain to trough, hold — so the stack-wide footprint swings
+// between ~85% and ~5% of the initial capacity. At phase boundaries and
+// periodically during the holds each worker polls the stack's capacity
+// manager (when it has one): held peaks satisfy the grow hysteresis,
+// held troughs the drain hysteresis, so an elastic stack expands at peak
+// and retires instances at trough within each cycle. The drain phase
+// releases newest-first, so trough survivors are the oldest chunks — the
+// ones packed on the workers' preferred instances — which leaves grown
+// instances empty and actually retirable. A failed ramp allocation polls
+// and retries once (growth may be what it is waiting for) before moving
+// on.
+func Burst(a alloc.Allocator, cfg Config) Result {
+	p := pollerOf(a)
+	geo := a.Geometry()
+	reserved := geo.SizeOfLevel(geo.LevelForSize(cfg.Size))
+	span := alloc.SpanOf(a)
+	peak := span * burstPeakNum / burstPeakDen / reserved / uint64(cfg.Threads)
+	if peak < 8 {
+		peak = 8
+	}
+	trough := peak / burstTroughDiv
+	if trough < 1 {
+		trough = 1
+	}
+	// A cycle costs about (peak-trough) allocs + as many frees + a peak's
+	// worth of churn per worker.
+	opsPerCycle := 3 * peak
+	cycles := cfg.scaled(10_000_000) / uint64(cfg.Threads) / opsPerCycle
+	if cycles == 0 {
+		cycles = 1
+	}
+	pollEvery := int(peak / 8)
+	if pollEvery == 0 {
+		pollEvery = 1
+	}
+	poll := func() {
+		if p != nil {
+			p.Tick()
+		}
+	}
+	return run("burst", a, cfg, func(id int, h alloc.Handle) {
+		live := make([]uint64, 0, peak)
+		churn := func(rounds uint64) {
+			for i := uint64(0); i < rounds; i++ {
+				if len(live) > 0 {
+					h.Free(live[len(live)-1])
+					live = live[:len(live)-1]
+				}
+				if off, ok := h.Alloc(cfg.Size); ok {
+					live = append(live, off)
+				}
+				if i%uint64(pollEvery) == 0 {
+					poll()
+				}
+			}
+		}
+		for c := uint64(0); c < cycles; c++ {
+			// Ramp to peak in bulk-contract steps.
+			for uint64(len(live)) < peak {
+				n := int(peak) - len(live)
+				if n > burstBatch {
+					n = burstBatch
+				}
+				got := alloc.HandleAllocBatch(h, cfg.Size, n)
+				live = append(live, got...)
+				poll()
+				if len(got) < n {
+					// The fleet is saturated mid-ramp; the poll above may
+					// have published capacity. A second short batch means it
+					// did not (cap reached): hold at whatever this is.
+					if got = alloc.HandleAllocBatch(h, cfg.Size, n-len(got)); len(got) == 0 {
+						break
+					}
+					live = append(live, got...)
+				}
+			}
+			poll()
+			churn(peak / 2) // hold at peak
+			poll()
+			// Drain to trough, newest first, in bulk-contract steps.
+			for uint64(len(live)) > trough {
+				n := len(live) - int(trough)
+				if n > burstBatch {
+					n = burstBatch
+				}
+				alloc.HandleFreeBatch(h, live[len(live)-n:])
+				live = live[:len(live)-n]
+			}
+			poll()
+			churn(peak / 8) // hold at trough (longer than a hysteresis streak)
+			poll()
+		}
+		alloc.HandleFreeBatch(h, live)
+		poll()
+	})
 }
 
 func normScale(s float64) float64 {

@@ -51,6 +51,7 @@ import (
 	"fmt"
 
 	"repro/internal/alloc"
+	"repro/internal/elastic"
 	"repro/internal/frontend"
 	"repro/internal/geometry"
 	"repro/internal/multi"
@@ -137,6 +138,7 @@ type options struct {
 	variant     Variant
 	instances   int
 	policy      multi.Policy
+	elastic     *elastic.Config
 	cached      bool
 	magazine    int
 	depot       bool
@@ -154,6 +156,31 @@ func WithVariant(v Variant) Option { return func(o *options) { o.variant = v } }
 // offset space with round-robin handle routing and fallback — the
 // multi-instance (NUMA-style) deployment of the paper's related work.
 func WithInstances(n int) Option { return func(o *options) { o.instances = n } }
+
+// ElasticConfig is the watermark policy of the elastic capacity manager;
+// see WithElastic. Zero fields take the documented defaults.
+type ElasticConfig = elastic.Config
+
+// ElasticManager is the capacity manager layer; see Buddy.Elastic.
+type ElasticManager = elastic.Manager
+
+// WithElastic wraps the multi-instance router with the elastic capacity
+// manager: the instance set grows under allocation pressure (up to
+// MaxInstances) and drains and retires idle instances (down to
+// MinInstances) — the deployment for diurnal or bursty workloads that a
+// fixed region either over-provisions or OOMs. Implies WithInstances(1)
+// when no instance count was set; excludes WithMaterializedRegion (a
+// materialized region cannot follow a growing offset span). Drive the
+// lifecycle with Buddy.Elastic().Poll() (deterministic) or
+// Buddy.Elastic().Start(interval) (background).
+func WithElastic(cfg ElasticConfig) Option {
+	return func(o *options) {
+		o.elastic = &cfg
+		if o.instances < 1 {
+			o.instances = 1
+		}
+	}
+}
 
 // WithFrontend layers per-worker caching magazines over the back-end:
 // every NewHandle becomes a caching handle with the given per-size-class
@@ -197,6 +224,7 @@ func build(cfg Config, o options) (*Buddy, error) {
 		Per:           alloc.Config{Total: cfg.Total, MinSize: cfg.MinSize, MaxSize: cfg.MaxSize},
 		Instances:     o.instances,
 		Policy:        o.policy,
+		Elastic:       o.elastic,
 		Cached:        o.cached,
 		Magazine:      o.magazine,
 		Depot:         o.depot,
@@ -357,6 +385,12 @@ func (b *Buddy) Backend() interface {
 // explicit NUMA-style pinning — bypass any caching or tracing layers
 // stacked above it.
 func (b *Buddy) Multi() *Multi { return b.st.Multi }
+
+// Elastic exposes the capacity manager (nil unless built WithElastic).
+// Poll drives one grow/drain/retire decision step; Start/Stop run the
+// policy on a background interval; Counters and Utilization report the
+// lifecycle state.
+func (b *Buddy) Elastic() *ElasticManager { return b.st.Elastic }
 
 // CachedHandle is a per-worker handle with magazine caching in front of
 // the instance (the paper's front-end/back-end composition). Frees park

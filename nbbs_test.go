@@ -205,6 +205,61 @@ func TestMulti(t *testing.T) {
 	pinned.Free(off2)
 }
 
+// TestElasticFacade drives the elastic capacity manager through the
+// public API: explicit Polls grow the fleet under pressure and retire it
+// back to the floor once drained.
+func TestElasticFacade(t *testing.T) {
+	b, err := nbbs.New(cfg,
+		nbbs.WithInstances(1),
+		nbbs.WithElastic(nbbs.ElasticConfig{MinInstances: 1, MaxInstances: 3, Hysteresis: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := b.Elastic()
+	if mgr == nil {
+		t.Fatal("Elastic() = nil on a WithElastic stack")
+	}
+	if b.Instances() != 1 {
+		t.Fatalf("initial Instances = %d", b.Instances())
+	}
+	// Fill past the high watermark, poll, and the fleet grows; the new
+	// window widens Total.
+	h := b.NewHandle()
+	var live []uint64
+	for mgr.Utilization() < 0.8 {
+		off, ok := h.Alloc(cfg.MaxSize)
+		if !ok {
+			t.Fatal("alloc failed below capacity")
+		}
+		live = append(live, off)
+	}
+	mgr.Poll()
+	if b.Instances() != 2 {
+		t.Fatalf("Instances after pressured poll = %d, want 2", b.Instances())
+	}
+	if b.Total() != 2*cfg.Total {
+		t.Fatalf("Total after grow = %d, want %d", b.Total(), 2*cfg.Total)
+	}
+	// Drain and poll the fleet back to the floor.
+	for _, off := range live {
+		h.Free(off)
+	}
+	for i := 0; i < 4 && b.Instances() > 1; i++ {
+		mgr.Poll()
+	}
+	if b.Instances() != 1 {
+		t.Fatalf("Instances after drained polls = %d, want the floor 1", b.Instances())
+	}
+	if c := mgr.Counters(); c.Grows == 0 || c.Retires == 0 {
+		t.Fatalf("lifecycle counters: %+v", c)
+	}
+	// Elastic excludes materialized regions (the span grows at runtime).
+	if _, err := nbbs.New(cfg,
+		nbbs.WithElastic(nbbs.ElasticConfig{}), nbbs.WithMaterializedRegion()); err == nil {
+		t.Fatal("elastic+materialize accepted")
+	}
+}
+
 // TestMaterializedMulti exercises the formerly-rejected composition:
 // materialized regions over a multi-instance router.
 func TestMaterializedMulti(t *testing.T) {
