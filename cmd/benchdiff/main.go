@@ -7,10 +7,15 @@
 //
 //	benchdiff -baseline BENCH_pr3.json -fresh bench-ci.json
 //	benchdiff -baseline BENCH_pr3.json -fresh bench-ci.json -md >> "$GITHUB_STEP_SUMMARY"
+//	benchdiff -baseline BENCH_pr4.json -fresh bench-ci.json -md -fail-over 30
 //
-// The exit status is always 0 when both files parse: trajectory deltas
-// are informational (CI boxes differ run to run), the job summary is
-// where a human reads them.
+// Without -fail-over the exit status is always 0 when both files parse:
+// trajectory deltas are informational and the job summary is where a
+// human reads them. With -fail-over <pct> the diff becomes a gate: any
+// cell present in both reports whose throughput regressed by more than
+// pct percent is named, and the exit status is 1 — how CI turns the
+// trajectory from report-only into a regression tripwire (the threshold
+// absorbs CI-box noise; 30% is the starting point).
 package main
 
 import (
@@ -26,10 +31,15 @@ func main() {
 		baseline = flag.String("baseline", "", "committed baseline report (BENCH_pr*.json)")
 		fresh    = flag.String("fresh", "", "freshly measured report (nbbsbench -json output)")
 		markdown = flag.Bool("md", false, "emit a GitHub-flavoured markdown table")
+		failOver = flag.Float64("fail-over", 0, "exit non-zero when any cell present in both reports regressed by more than this percent (0 = report-only)")
 	)
 	flag.Parse()
 	if *baseline == "" || *fresh == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: both -baseline and -fresh are required")
+		os.Exit(2)
+	}
+	if *failOver < 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -fail-over must be non-negative")
 		os.Exit(2)
 	}
 	base, err := harness.LoadReport(*baseline)
@@ -47,7 +57,35 @@ func main() {
 	if freshLabel == "" {
 		freshLabel = *fresh
 	}
-	harness.WriteDiff(os.Stdout, baseLabel, freshLabel, harness.DiffReports(base, fr), *markdown)
+	deltas := harness.DiffReports(base, fr)
+	harness.WriteDiff(os.Stdout, baseLabel, freshLabel, deltas, *markdown)
+
+	if *failOver == 0 {
+		return
+	}
+	var offenders []harness.CellDelta
+	for _, d := range deltas {
+		if d.In == "both" && d.DeltaPct() < -*failOver {
+			offenders = append(offenders, d)
+		}
+	}
+	if len(offenders) == 0 {
+		fmt.Printf("\nbenchdiff: gate passed — no cell regressed beyond %.0f%%\n", *failOver)
+		return
+	}
+	// Offenders go to stdout so a `| tee -a $GITHUB_STEP_SUMMARY` names
+	// them in the step summary, not just the log.
+	fmt.Printf("\nbenchdiff: FAIL — %d cell(s) regressed beyond the %.0f%% threshold:\n\n", len(offenders), *failOver)
+	for _, d := range offenders {
+		line := fmt.Sprintf("%s/%s bytes=%d threads=%d: %.2f -> %.2f Mops/s (%+.1f%%)",
+			d.Workload, d.Allocator, d.Bytes, d.Threads, d.BaseOps/1e6, d.FreshOps/1e6, d.DeltaPct())
+		if *markdown {
+			fmt.Printf("- **%s**\n", line)
+		} else {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	os.Exit(1)
 }
 
 func fatal(err error) {

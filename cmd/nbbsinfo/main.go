@@ -17,6 +17,8 @@
 //	nbbsinfo -instances 4 -depot -demo-ops 200000   # depot_* layer counters
 //	nbbsinfo -instances 2 -elastic -elastic-max 4 -demo-ops 400000
 //	    # watermark config, per-instance utilization, lifecycle counters
+//	nbbsinfo -instances 2 -elastic -elastic-max 4 -mem -demo-ops 400000
+//	    # mapped windows: per-slot commit map and commit/decommit totals
 package main
 
 import (
@@ -43,6 +45,7 @@ func main() {
 		magazine    = flag.Int("magazine", 0, "front-end per-class magazine capacity (0 = default)")
 		depot       = flag.Bool("depot", false, "attach the shared magazine depot to the front-end (implies -cached)")
 		materialize = flag.Bool("materialize", false, "back the offset space with real memory")
+		mapped      = flag.Bool("mem", false, "back instance windows with mapped memory following the slot lifecycle (prints the commit map)")
 		elastic     = flag.Bool("elastic", false, "wrap the router with the elastic capacity manager (demo polls it in the background)")
 		elasticMin  = flag.Int("elastic-min", 1, "elastic instance floor")
 		elasticMax  = flag.Int("elastic-max", 0, "elastic instance cap (0 = twice the initial instances)")
@@ -106,6 +109,7 @@ func main() {
 			magazine:    *magazine,
 			depot:       *depot,
 			materialize: *materialize,
+			mapped:      *mapped,
 			elastic:     *elastic,
 			elasticMin:  *elasticMin,
 			elasticMax:  *elasticMax,
@@ -123,6 +127,7 @@ type stackConfig struct {
 	magazine    int
 	depot       bool
 	materialize bool
+	mapped      bool
 	elastic     bool
 	elasticMin  int
 	elasticMax  int
@@ -148,6 +153,9 @@ func demo(sc stackConfig) {
 	}
 	if sc.depot {
 		opts = append(opts, nbbs.WithDepot(0))
+	}
+	if sc.mapped {
+		opts = append(opts, nbbs.WithMappedMemory())
 	}
 	if sc.materialize {
 		opts = append(opts, nbbs.WithMaterializedRegion())
@@ -221,6 +229,30 @@ func demo(sc stackConfig) {
 
 	if mgr := b.Elastic(); mgr != nil {
 		mgr.Poll() // the stack is drained: complete any pending retires
+	}
+	if r := b.Memory(); r != nil {
+		s := r.Stats()
+		backing := "portable fallback (bookkeeping only)"
+		if nbbs.MappedBacking() {
+			backing = "platform mapped (decommit returns RSS)"
+		}
+		fmt.Printf("\nmapped memory backing: %s\n", backing)
+		fmt.Printf("  windows: %d x %d bytes reserved (%d bytes), %d bytes committed\n",
+			r.Windows(), r.WindowSize(), s.ReservedBytes, s.CommittedBytes)
+		fmt.Printf("  lifecycle: commits=%d decommits=%d recommits=%d\n",
+			s.Commits, s.Decommits, s.Recommits)
+		fmt.Printf("  commit map:\n")
+		for k, committed := range r.CommitMap() {
+			state := "decommitted"
+			if committed {
+				state = "committed"
+			}
+			fmt.Printf("    window %-3d [%#012x, %#012x)  %s\n",
+				k, uint64(k)*r.WindowSize(), uint64(k+1)*r.WindowSize(), state)
+		}
+	}
+
+	if mgr := b.Elastic(); mgr != nil {
 		cfg := mgr.Config()
 		c := mgr.Counters()
 		fmt.Printf("\nelastic capacity manager:\n")

@@ -2,17 +2,27 @@
 // instance manages. The allocators themselves operate purely on metadata
 // and hand out offsets into the region (paper equation (3) computes
 // starting addresses relative to base_address); an Arena optionally
-// materializes the region as a byte slab so callers can actually read and
+// materializes the region as real memory so callers can actually read and
 // write the memory they were granted.
 //
 // Keeping materialization optional lets the benchmark harness measure pure
 // allocator behaviour — the paper's benchmarks never touch the allocated
 // payload either — without reserving gigabytes of RSS.
 //
+// Since the mapped-memory backing PR, the bytes behind an arena come from
+// internal/mem rather than make([]byte): a platform-backed region with a
+// reserve/commit/decommit lifecycle. A stand-alone arena commits its
+// region at construction — the fixed-deployment behaviour is unchanged —
+// but a Materialize layer over a router that already carries a bound
+// mem.Region (a mapped elastic stack) borrows the router's windows
+// instead of allocating its own, so the byte views follow the elastic
+// commit/decommit lifecycle and retired instances really give their pages
+// back to the OS.
+//
 // Materialize wraps any allocator stack as a composable layer: it sizes
 // real memory to the stack's global offset span and hands out byte
 // windows for live chunks. Over a multi-instance router it keeps one
-// sub-arena per instance — the per-NUMA-node memory the router models —
+// window per instance — the per-NUMA-node memory the router models —
 // behind the single global offset space.
 package arena
 
@@ -21,20 +31,31 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/geometry"
+	"repro/internal/mem"
 )
 
-// Arena is a contiguous region of Total bytes, optionally backed by a slab.
+// Arena is a contiguous region of Total bytes, optionally backed by a
+// committed mem.Region window.
 type Arena struct {
-	total uint64
-	slab  []byte
+	total  uint64
+	region *mem.Region
 }
 
 // New creates an arena of the given size. If materialize is true the
-// region is backed by real memory; otherwise only offsets exist.
+// region is backed by real memory (one committed mem window); otherwise
+// only offsets exist. Like make([]byte) before it, a backing failure is
+// an OOM-class event and panics.
 func New(total uint64, materialize bool) *Arena {
 	a := &Arena{total: total}
 	if materialize {
-		a.slab = make([]byte, total)
+		r, err := mem.New(total, 1)
+		if err == nil {
+			err = r.Commit(0)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("arena: materializing %d bytes: %v", total, err))
+		}
+		a.region = r
 	}
 	return a
 }
@@ -43,19 +64,19 @@ func New(total uint64, materialize bool) *Arena {
 func (a *Arena) Total() uint64 { return a.total }
 
 // Materialized reports whether the region is backed by real memory.
-func (a *Arena) Materialized() bool { return a.slab != nil }
+func (a *Arena) Materialized() bool { return a.region != nil }
 
 // Bytes returns the [offset, offset+size) window of the region as a slice.
 // It panics if the arena is not materialized or the window is out of
 // bounds — both are caller bugs, not runtime conditions.
 func (a *Arena) Bytes(offset, size uint64) []byte {
-	if a.slab == nil {
+	if a.region == nil {
 		panic("arena: Bytes on a non-materialized arena")
 	}
 	if offset+size > a.total || offset+size < offset {
 		panic(fmt.Sprintf("arena: window [%d,%d) outside region of %d bytes", offset, offset+size, a.total))
 	}
-	return a.slab[offset : offset+size : offset+size]
+	return a.region.Bytes(0, offset, size)
 }
 
 // Allocator is the materialized-region layer: a pass-through allocator
@@ -63,23 +84,28 @@ func (a *Arena) Bytes(offset, size uint64) []byte {
 // with real memory, so callers can read and write the chunks they are
 // granted. It forwards the whole composable contract (ChunkSizer,
 // Spanner, Scrubber, LayerStatser), so it stacks over any allocator —
-// including a multi-instance router, where it keeps one sub-arena per
+// including a multi-instance router, where it keeps one window per
 // instance behind the global offset space.
 type Allocator struct {
 	inner   alloc.Allocator
 	sizer   alloc.ChunkSizer
-	span    uint64   // global offset span
-	segSize uint64   // bytes per sub-arena
-	segs    []*Arena // one per instance (one total for single-instance stacks)
+	segSize uint64 // bytes per per-instance window
+	// region backs the byte views: created (and fully committed) here for
+	// unmapped stacks, borrowed from a mapped router below otherwise — in
+	// the borrowed case its lifecycle (commit on grow, decommit on
+	// retire) belongs to the router and this layer only reads windows.
+	region *mem.Region
 }
 
 // instanceCounter is implemented by the multi-instance router; unwrapper
-// by every layer that wraps a single inner allocator.
+// by every layer that wraps a single inner allocator; memoryProvider by
+// layers carrying a bound mapped region (the router under WithMapped).
 type instanceCounter interface{ Instances() int }
 type unwrapper interface{ Unwrap() alloc.Allocator }
+type memoryProvider interface{ Memory() *mem.Region }
 
 // segmentsOf walks the stack down to the multi-instance router (if any)
-// to learn how many sub-arenas the offset space splits into.
+// to learn how many windows the offset space splits into.
 func segmentsOf(a alloc.Allocator) int {
 	for {
 		if ic, ok := a.(instanceCounter); ok {
@@ -93,26 +119,54 @@ func segmentsOf(a alloc.Allocator) int {
 	}
 }
 
+// regionOf walks the stack for a layer that already carries a bound
+// mapped region (nil when the stack is unmapped).
+func regionOf(a alloc.Allocator) *mem.Region {
+	for {
+		if mp, ok := a.(memoryProvider); ok {
+			if r := mp.Memory(); r != nil {
+				return r
+			}
+		}
+		w, ok := a.(unwrapper)
+		if !ok {
+			return nil
+		}
+		a = w.Unwrap()
+	}
+}
+
 // Materialize wraps a stack with a materialized region sized to its
 // global offset span. The stack must implement alloc.ChunkSizer so Bytes
 // can learn the reserved window of an offset.
+//
+// When the wrapped stack carries a bound mapped region (a router built
+// with mapped backing), that region is borrowed rather than duplicated:
+// the windows the router commits and decommits through the elastic
+// lifecycle are exactly the bytes this layer hands out, so the two layers
+// can never disagree about what memory exists.
 func Materialize(inner alloc.Allocator) (*Allocator, error) {
 	sizer, ok := inner.(alloc.ChunkSizer)
 	if !ok {
 		return nil, fmt.Errorf("arena: %s cannot report chunk sizes", inner.Name())
 	}
+	if r := regionOf(inner); r != nil {
+		return &Allocator{inner: inner, sizer: sizer, segSize: r.WindowSize(), region: r}, nil
+	}
 	span := alloc.SpanOf(inner)
 	segments := segmentsOf(inner)
-	a := &Allocator{
-		inner:   inner,
-		sizer:   sizer,
-		span:    span,
-		segSize: span / uint64(segments),
+	segSize := span / uint64(segments)
+	r, err := mem.New(segSize, segments)
+	if err != nil {
+		return nil, fmt.Errorf("arena: reserving %d windows of %d bytes: %w", segments, segSize, err)
 	}
-	for i := 0; i < segments; i++ {
-		a.segs = append(a.segs, New(a.segSize, true))
+	for k := 0; k < segments; k++ {
+		if err := r.Commit(k); err != nil {
+			r.Release()
+			return nil, fmt.Errorf("arena: committing window %d: %w", k, err)
+		}
 	}
-	return a, nil
+	return &Allocator{inner: inner, sizer: sizer, segSize: segSize, region: r}, nil
 }
 
 // Name implements alloc.Allocator.
@@ -121,11 +175,16 @@ func (a *Allocator) Name() string { return "mat+" + a.inner.Name() }
 // Geometry implements alloc.Allocator.
 func (a *Allocator) Geometry() geometry.Geometry { return a.inner.Geometry() }
 
-// OffsetSpan implements alloc.Spanner.
-func (a *Allocator) OffsetSpan() uint64 { return a.span }
+// OffsetSpan implements alloc.Spanner. It is forwarded (not cached): over
+// a mapped elastic stack the span grows with the router's table, and the
+// borrowed region grows with it.
+func (a *Allocator) OffsetSpan() uint64 { return alloc.SpanOf(a.inner) }
 
 // Unwrap exposes the wrapped stack to generic stack walkers.
 func (a *Allocator) Unwrap() alloc.Allocator { return a.inner }
+
+// Region exposes the backing mem region (for commit-map introspection).
+func (a *Allocator) Region() *mem.Region { return a.region }
 
 // Alloc implements alloc.Allocator (pass-through).
 func (a *Allocator) Alloc(size uint64) (uint64, bool) { return a.inner.Alloc(size) }
@@ -159,29 +218,38 @@ func (a *Allocator) Scrub() {
 }
 
 // LayerStats implements alloc.LayerStatser: the arena contributes no
-// operation counters, only its memory footprint.
+// operation counters, only its memory footprint and — since the
+// mapped-memory backing — the region's commit accounting.
 func (a *Allocator) LayerStats() []alloc.LayerStats {
+	ms := a.region.Stats()
 	entry := alloc.LayerStats{
 		Layer: "mat",
 		Extra: map[string]uint64{
-			"bytes":    a.span,
-			"segments": uint64(len(a.segs)),
+			"bytes":         ms.ReservedBytes,
+			"segments":      uint64(a.region.Windows()),
+			"mem_reserved":  ms.ReservedBytes,
+			"mem_committed": ms.CommittedBytes,
+			"mem_decommits": ms.Decommits,
+			"mem_recommits": ms.Recommits,
 		},
 	}
 	return append([]alloc.LayerStats{entry}, alloc.StackStats(a.inner)...)
 }
 
 // Bytes returns the memory window of a live chunk at a global offset as a
-// slice; the slice is valid until the chunk is freed. A chunk never
-// crosses a sub-arena boundary: chunks are size-aligned within their
-// instance's window and no larger than it.
+// slice; the slice is valid until the chunk is freed — and, since the
+// mapped backing, only while the stack itself stays reachable (the slice
+// views OS-mapped memory that a garbage-collected region unmaps; see
+// mem.Region.Window). A chunk never crosses a window boundary: chunks are
+// size-aligned within their instance's window and no larger than it.
 func (a *Allocator) Bytes(offset uint64) []byte {
 	size := a.sizer.ChunkSize(offset)
 	seg := offset / a.segSize
-	if int(seg) >= len(a.segs) {
-		panic(fmt.Sprintf("arena: offset %#x outside the materialized span of %d bytes", offset, a.span))
+	if int(seg) >= a.region.Windows() {
+		panic(fmt.Sprintf("arena: offset %#x outside the materialized span of %d bytes",
+			offset, uint64(a.region.Windows())*a.segSize))
 	}
-	return a.segs[seg].Bytes(offset-seg*a.segSize, size)
+	return a.region.Bytes(int(seg), offset-seg*a.segSize, size)
 }
 
 // AllocBytes combines Alloc and Bytes: it reserves at least size bytes

@@ -87,8 +87,8 @@ func TestMaterializeSegmentsPerInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.OffsetSpan() != 8192 || len(m.segs) != 2 {
-		t.Fatalf("span/segments = %d/%d, want 8192/2", m.OffsetSpan(), len(m.segs))
+	if m.OffsetSpan() != 8192 || m.Region().Windows() != 2 {
+		t.Fatalf("span/segments = %d/%d, want 8192/2", m.OffsetSpan(), m.Region().Windows())
 	}
 	// Windows in both instances' offset ranges materialize and are
 	// disjoint backing memory.

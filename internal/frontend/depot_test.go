@@ -225,3 +225,72 @@ func TestDepotConcurrentSpillRefill(t *testing.T) {
 		t.Fatalf("depot never exchanged a magazine under load: %+v", ds)
 	}
 }
+
+// TestDrainDepotRange is the elastic shrink hook in isolation: only
+// magazines holding at least one chunk of the requested offset window are
+// evicted (whole, since magazines mix instances), their chunks go back to
+// the back-end, and magazines entirely outside the window stay parked.
+func TestDrainDepotRange(t *testing.T) {
+	fe, m := depotFrontend(t, "4lvl-nb", 4, 16)
+	span := m.InstanceSpan()
+
+	// Park magazines from two pinned producers so the depot holds full
+	// magazines attributable to instance 0 and instance 1 respectively.
+	// Frontend handles route through round-robin router handles, so pin at
+	// the router: chunks allocated on instance k live in window k.
+	for k := 0; k < 2; k++ {
+		rh := m.NewHandleOn(k)
+		var offs []uint64
+		for i := 0; i < 12; i++ {
+			off, ok := rh.Alloc(128)
+			if !ok {
+				t.Fatalf("alloc on instance %d failed", k)
+			}
+			offs = append(offs, off)
+		}
+		// Frees enter the front-end path, overflow the 4-cap magazine and
+		// park in the depot.
+		fh := fe.NewHandle().(*frontend.Handle)
+		for _, off := range offs {
+			fh.Free(off)
+		}
+		fh.Flush()
+	}
+	if fe.Depot().Retained() == 0 {
+		t.Fatal("setup parked nothing in the depot")
+	}
+
+	// Drain instance 0's window. Every instance-0 chunk must leave the
+	// depot; instance-1 magazines stay parked unless a magazine mixed both.
+	beforeFrees := m.Stats().Frees
+	fe.DrainDepotRange(0, span)
+	if got := m.Stats().Frees; got == beforeFrees {
+		t.Fatal("drained magazines were not freed to the back-end")
+	}
+	if fe.Depot().Retained() == 0 {
+		t.Fatal("instance-1 magazines should have survived the instance-0 drain")
+	}
+	for _, off := range depotOffsets(fe) {
+		if off < span {
+			t.Fatalf("offset %#x of the drained window still parked in the depot", off)
+		}
+	}
+	// A full scrub still reconciles the back-end.
+	fe.Scrub()
+	if s := m.Stats(); s.Allocs != s.Frees {
+		t.Fatalf("back-end unbalanced after Scrub: %d allocs vs %d frees", s.Allocs, s.Frees)
+	}
+}
+
+// depotOffsets snapshots every chunk offset parked in the depot. The
+// snapshot is destructive (DrainAll), so the chunks are handed straight
+// back to the back-end — callers assert on the returned offsets and treat
+// the depot as empty afterwards.
+func depotOffsets(fe *frontend.Allocator) []uint64 {
+	var out []uint64
+	for _, mag := range fe.Depot().DrainAll() {
+		out = append(out, mag...)
+		alloc.FreeBatchOf(fe.Backend(), mag)
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+// Package mem is the platform-backed region provider of the allocator
+// stack: the layer that turns the paper's offset arithmetic into memory
+// the operating system actually accounts for.
+//
+// The source paper's buddy system manages *offsets* — its benchmarks
+// never touch the allocated payload — and until now the repository kept
+// that discipline even in "materialized" deployments: internal/arena
+// backed the offset span with one fixed make([]byte), so a region's
+// resident footprint was decided once, at construction, forever. That
+// breaks the elastic story of PR 4: the manager retires instances, but
+// not a single page goes back to the OS, so a diurnal workload's peak
+// RSS is permanent.
+//
+// A Region is a set of equally sized windows — one per back-end instance
+// slot — each with an independent reserve → commit → decommit → recommit
+// lifecycle:
+//
+//	reserve   address space only (PROT_NONE, MAP_NORESERVE on Linux):
+//	          no RSS, no swap accounting; faults on touch.
+//	commit    make the window usable and resident (mprotect RW, then
+//	          touch one byte per page so the committed bytes really back
+//	          the window — commit is the moment RSS rises, not first use).
+//	decommit  return the pages to the OS (MADV_DONTNEED) and fence the
+//	          window off again (PROT_NONE). RSS drops immediately.
+//	recommit  commit after a decommit; the window comes back zero-filled.
+//
+// The platform split lives behind three build-tagged hooks (osReserve /
+// osCommit / osDecommit / osRelease): Linux uses mmap + mprotect +
+// madvise; every other platform falls back to one heap []byte per window
+// with commit/decommit as pure bookkeeping, so the package — and every
+// stack built over it — compiles and behaves identically everywhere,
+// just without the RSS effect (Mapped reports which one you got).
+//
+// Windows are intentionally independent mappings rather than one large
+// reservation: the elastic manager grows the instance table at runtime,
+// and per-window mappings make Ensure(n) an O(1) mmap instead of a
+// guess-the-ceiling reservation.
+package mem
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// HugePageSize is the transparent-huge-page extent MADV_HUGEPAGE can
+// coalesce on Linux/amd64. Windows are only hugepage-advised when their
+// size is a multiple of it, and the reservation is over-allocated so the
+// window starts on a HugePageSize boundary — THP only materializes on
+// aligned 2MiB extents, so an unaligned advise would silently do nothing.
+const HugePageSize = 2 << 20
+
+// Stats is the region's commit accounting; all counters are lifetime
+// totals except the byte gauges. Reads are consistent snapshots.
+type Stats struct {
+	// ReservedBytes is address space reserved across all windows.
+	ReservedBytes uint64
+	// CommittedBytes is the bytes currently committed (resident-capable).
+	CommittedBytes uint64
+	// Commits counts Commit transitions out of the reserved state,
+	// first-time commits and recommits alike.
+	Commits uint64
+	// Decommits counts windows returned to the OS.
+	Decommits uint64
+	// Recommits counts the subset of Commits that revived a previously
+	// decommitted window — the elastic grow-into-a-hole path.
+	Recommits uint64
+}
+
+// window is one lifecycle unit of the region.
+type window struct {
+	// raw is the whole OS mapping (the munmap token); buf is the aligned
+	// WindowSize view handed to callers. They differ only when hugepage
+	// alignment padded the reservation.
+	raw []byte
+	buf []byte
+	// committed is the lifecycle state; decommitted remembers that the
+	// window went through a decommit, so the next commit counts as a
+	// recommit.
+	committed   bool
+	decommitted bool
+}
+
+// Region is a growable set of same-size windows with independent
+// commit/decommit lifecycles. All methods are safe for concurrent use.
+type Region struct {
+	winSize uint64
+	huge    bool
+
+	mu   sync.Mutex
+	wins []*window
+
+	commits, decommits, recommits uint64
+}
+
+// Option tunes a Region.
+type Option func(*Region)
+
+// WithHugePages requests MADV_HUGEPAGE on commit. It only takes effect
+// when the window size is a multiple of HugePageSize (the alignment rule
+// documented on HugePageSize); smaller windows silently stay on base
+// pages. No-op on non-Linux platforms.
+func WithHugePages() Option { return func(r *Region) { r.huge = true } }
+
+// New reserves a region of windows equally sized windows of windowSize
+// bytes each. Windows can be added later with Ensure; every window starts
+// reserved (uncommitted).
+func New(windowSize uint64, windows int, opts ...Option) (*Region, error) {
+	if windowSize == 0 {
+		return nil, fmt.Errorf("mem: window size must be positive")
+	}
+	if windows < 0 {
+		return nil, fmt.Errorf("mem: window count %d must be non-negative", windows)
+	}
+	r := &Region{winSize: windowSize}
+	for _, o := range opts {
+		o(r)
+	}
+	if err := r.Ensure(windows); err != nil {
+		r.Release()
+		return nil, err
+	}
+	// Regions are owned by allocator stacks, which have no destructor in
+	// the layer contract; the finalizer returns the address space when a
+	// stack (a conformance-suite build, a bench cell) becomes garbage.
+	// Consequence for callers: a []byte escaping Window/Bytes does NOT
+	// keep the Region alive (the GC cannot trace mapped memory) — byte
+	// views are valid only while the Region stays reachable, which the
+	// Window/Bytes docs make part of the contract.
+	runtime.SetFinalizer(r, (*Region).Release)
+	return r, nil
+}
+
+// Mapped reports whether this platform really maps and unmaps pages
+// (Linux) or runs the portable bookkeeping fallback.
+func Mapped() bool { return osMapped }
+
+// WindowSize returns the bytes per window.
+func (r *Region) WindowSize() uint64 { return r.winSize }
+
+// Windows returns the number of reserved windows.
+func (r *Region) Windows() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.wins)
+}
+
+// HugePages reports whether commits advise transparent huge pages (only
+// meaningful when the window size meets the HugePageSize alignment rule).
+func (r *Region) HugePages() bool { return r.huge && r.winSize%HugePageSize == 0 }
+
+// Ensure reserves windows until the region holds at least n of them.
+// Existing windows and their lifecycle states are untouched.
+func (r *Region) Ensure(n int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.wins) < n {
+		raw, buf, err := osReserve(r.winSize, r.HugePages())
+		if err != nil {
+			return fmt.Errorf("mem: reserving window %d (%d bytes): %w", len(r.wins), r.winSize, err)
+		}
+		r.wins = append(r.wins, &window{raw: raw, buf: buf})
+	}
+	return nil
+}
+
+func (r *Region) window(k int) *window {
+	if k < 0 || k >= len(r.wins) {
+		panic(fmt.Sprintf("mem: window %d of a %d-window region", k, len(r.wins)))
+	}
+	return r.wins[k]
+}
+
+// Commit makes window k usable and resident; committing a committed
+// window is a no-op. A commit after a decommit (a recommit) hands back a
+// zero-filled window.
+func (r *Region) Commit(k int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.window(k)
+	if w.committed {
+		return nil
+	}
+	if err := osCommit(w.buf, r.HugePages()); err != nil {
+		return fmt.Errorf("mem: committing window %d: %w", k, err)
+	}
+	w.committed = true
+	r.commits++
+	if w.decommitted {
+		r.recommits++
+	}
+	return nil
+}
+
+// Decommit returns window k's pages to the OS and fences the window off;
+// decommitting an uncommitted window is a no-op. The caller must
+// guarantee no live chunk references the window — the elastic lifecycle's
+// draining → zero-live fence (DESIGN.md) is exactly that guarantee.
+func (r *Region) Decommit(k int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.window(k)
+	if !w.committed {
+		return nil
+	}
+	if err := osDecommit(w.buf); err != nil {
+		return fmt.Errorf("mem: decommitting window %d: %w", k, err)
+	}
+	w.committed = false
+	w.decommitted = true
+	r.decommits++
+	return nil
+}
+
+// Committed reports window k's lifecycle state.
+func (r *Region) Committed(k int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.window(k).committed
+}
+
+// CommitMap returns the per-window commit states, index-aligned with the
+// router's slot table when the region backs one.
+func (r *Region) CommitMap() []bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]bool, len(r.wins))
+	for k, w := range r.wins {
+		out[k] = w.committed
+	}
+	return out
+}
+
+// Window returns window k's bytes. The window must be committed: reading
+// or writing a reserved or decommitted window faults on Linux, so the
+// panic here is the portable version of that fault.
+//
+// Lifetime: the returned slice is a view of OS-mapped memory, so it does
+// not keep the Region alive the way a heap slice keeps its array alive.
+// It is valid only while the window stays committed AND the Region stays
+// reachable — let the Region (in practice: the allocator stack) be
+// garbage-collected and the finalizer unmaps the pages under the slice.
+func (r *Region) Window(k int) []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.window(k)
+	if !w.committed {
+		panic(fmt.Sprintf("mem: Window(%d) on an uncommitted window", k))
+	}
+	return w.buf
+}
+
+// Bytes returns the [off, off+size) view of committed window k, with the
+// same bounds discipline as arena.Bytes.
+func (r *Region) Bytes(k int, off, size uint64) []byte {
+	b := r.Window(k)
+	if off+size > r.winSize || off+size < off {
+		panic(fmt.Sprintf("mem: window %d range [%d,%d) outside %d bytes", k, off, off+size, r.winSize))
+	}
+	return b[off : off+size : off+size]
+}
+
+// Stats returns a consistent snapshot of the commit accounting.
+func (r *Region) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		ReservedBytes: uint64(len(r.wins)) * r.winSize,
+		Commits:       r.commits,
+		Decommits:     r.decommits,
+		Recommits:     r.recommits,
+	}
+	for _, w := range r.wins {
+		if w.committed {
+			s.CommittedBytes += r.winSize
+		}
+	}
+	return s
+}
+
+// Release unmaps every window. The region must not be used afterwards;
+// calling Release twice is safe. Stacks normally never call it — the
+// finalizer set in New covers them — but tests and short-lived tools can
+// return the address space deterministically.
+func (r *Region) Release() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, w := range r.wins {
+		if w.raw != nil {
+			osRelease(w.raw)
+		}
+		w.raw, w.buf = nil, nil
+		w.committed = false
+	}
+	r.wins = nil
+}

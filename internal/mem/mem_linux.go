@@ -1,0 +1,72 @@
+//go:build linux
+
+package mem
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// osMapped: this platform really maps and unmaps pages; decommit returns
+// RSS to the OS.
+const osMapped = true
+
+// osReserve maps winSize bytes of inaccessible address space. PROT_NONE +
+// MAP_NORESERVE means the reservation costs neither RSS nor commit
+// charge; any touch before Commit faults. When hugepage alignment is
+// requested the mapping is padded by one huge-page extent and the
+// returned view starts on a HugePageSize boundary (see HugePageSize).
+func osReserve(winSize uint64, huge bool) (raw, buf []byte, err error) {
+	size := winSize
+	if huge {
+		size += HugePageSize
+	}
+	raw, err = syscall.Mmap(-1, 0, int(size),
+		syscall.PROT_NONE,
+		syscall.MAP_PRIVATE|syscall.MAP_ANONYMOUS|syscall.MAP_NORESERVE)
+	if err != nil {
+		return nil, nil, err
+	}
+	buf = raw
+	if huge {
+		base := uintptr(unsafe.Pointer(&raw[0]))
+		pad := uint64(0)
+		if rem := uint64(base) % HugePageSize; rem != 0 {
+			pad = HugePageSize - rem
+		}
+		buf = raw[pad : pad+winSize : pad+winSize]
+	}
+	return raw, buf, nil
+}
+
+// osCommit opens the window for access and touches one byte per page so
+// the pages are resident when the call returns — committed bytes are
+// meant to reconcile with RSS, not with a lazy first-fault promise.
+func osCommit(buf []byte, huge bool) error {
+	if err := syscall.Mprotect(buf, syscall.PROT_READ|syscall.PROT_WRITE); err != nil {
+		return err
+	}
+	if huge {
+		// Advisory: a failure (kernel built without THP) only loses the
+		// large-TLB win, not correctness.
+		_ = syscall.Madvise(buf, syscall.MADV_HUGEPAGE)
+	}
+	step := syscall.Getpagesize()
+	for i := 0; i < len(buf); i += step {
+		buf[i] = 0
+	}
+	return nil
+}
+
+// osDecommit gives the pages back (MADV_DONTNEED zero-fills the range and
+// drops the RSS immediately) and fences the window off again, so a
+// use-after-retire is a fault instead of a silent read of stale payload.
+func osDecommit(buf []byte) error {
+	if err := syscall.Madvise(buf, syscall.MADV_DONTNEED); err != nil {
+		return err
+	}
+	return syscall.Mprotect(buf, syscall.PROT_NONE)
+}
+
+// osRelease unmaps the whole original reservation.
+func osRelease(raw []byte) { _ = syscall.Munmap(raw) }

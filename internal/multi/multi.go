@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/geometry"
+	"repro/internal/mem"
 )
 
 // Policy selects the preferred instance for a handle.
@@ -124,6 +125,12 @@ type Multi struct {
 	// needs. It must be set (EnableLiveTracking) before the router serves
 	// any traffic and never changes afterwards.
 	trackLive bool
+	// region, when bound (BindMemory, before traffic), backs each slot's
+	// offset window with platform mapped memory that follows the slot
+	// lifecycle: committed while the slot is published, decommitted when it
+	// retires — the point where an elastic shrink actually returns RSS to
+	// the OS.
+	region *mem.Region
 
 	tab  atomic.Pointer[table]
 	next atomic.Uint64
@@ -186,8 +193,46 @@ func (m *Multi) EnableLiveTracking() { m.trackLive = true }
 // LiveTracking reports whether per-slot live accounting is enabled.
 func (m *Multi) LiveTracking() bool { return m.trackLive }
 
+// BindMemory attaches a mapped region as the router's memory backing:
+// slot k's offset window [k*Total, (k+1)*Total) is backed by region
+// window k. Every currently published slot's window is committed here;
+// afterwards the lifecycle keeps them in step — AddInstance commits
+// (recommits, when refilling a retired hole) before publishing,
+// Reactivate re-asserts the commit, and TryRetire decommits after
+// unpublishing, which is what finally returns a retired instance's RSS
+// to the OS. Like EnableLiveTracking it must be called before the router
+// serves any traffic.
+func (m *Multi) BindMemory(r *mem.Region) error {
+	if r.WindowSize() != m.span {
+		return fmt.Errorf("multi: region window %d bytes does not match the %d-byte instance span",
+			r.WindowSize(), m.span)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tab.Load()
+	if err := r.Ensure(len(t.slots)); err != nil {
+		return err
+	}
+	for k, s := range t.slots {
+		if s == nil {
+			continue
+		}
+		if err := r.Commit(k); err != nil {
+			return err
+		}
+	}
+	m.region = r
+	return nil
+}
+
+// Memory exposes the bound mapped region (nil for unmapped routers).
+func (m *Multi) Memory() *mem.Region { return m.region }
+
 // Name implements alloc.Allocator.
 func (m *Multi) Name() string {
+	if m.region != nil {
+		return fmt.Sprintf("mapped+multi[%dx %s]", m.Instances(), m.leafName)
+	}
 	return fmt.Sprintf("multi[%dx %s]", m.Instances(), m.leafName)
 }
 
@@ -444,6 +489,13 @@ func (m *Multi) LayerStats() []alloc.LayerStats {
 			"fallbacks": fallbacks,
 		},
 	}
+	if m.region != nil {
+		ms := m.region.Stats()
+		entry.Extra["mem_reserved"] = ms.ReservedBytes
+		entry.Extra["mem_committed"] = ms.CommittedBytes
+		entry.Extra["mem_decommits"] = ms.Decommits
+		entry.Extra["mem_recommits"] = ms.Recommits
+	}
 	backend := alloc.LayerStats{
 		Layer: fmt.Sprintf("%s x%d", m.leafName, m.Instances()),
 		Stats: m.Stats(),
@@ -478,6 +530,18 @@ func (m *Multi) AddInstance() (int, error) {
 	if k < 0 {
 		slots = append(slots, nil)
 		k = len(slots) - 1
+	}
+	// Publication order, extended to memory: the slot's window is
+	// committed (a recommit when k is a refilled hole) before the table
+	// carrying the slot is stored, so any handle that can route to the
+	// instance finds its memory resident.
+	if m.region != nil {
+		if err := m.region.Ensure(k + 1); err != nil {
+			return 0, fmt.Errorf("multi: reserving window %d: %w", k, err)
+		}
+		if err := m.region.Commit(k); err != nil {
+			return 0, fmt.Errorf("multi: committing window %d: %w", k, err)
+		}
 	}
 	slots[k] = s
 	m.tab.Store(&table{slots: slots})
@@ -528,6 +592,14 @@ func (m *Multi) Reactivate(k int) error {
 	if s.state.Load() != slotDraining {
 		return fmt.Errorf("multi: Reactivate(%d): not draining", k)
 	}
+	// A draining slot's window is still committed (its live chunks are
+	// still backed); re-asserting the commit is an idempotent no-op that
+	// keeps the invariant "published slot => committed window" local.
+	if m.region != nil {
+		if err := m.region.Commit(k); err != nil {
+			return fmt.Errorf("multi: recommitting window %d: %w", k, err)
+		}
+	}
 	s.state.Store(slotActive)
 	return nil
 }
@@ -563,6 +635,15 @@ func (m *Multi) TryRetire(k int) (bool, error) {
 	slots := append([]*slot(nil), t.slots...)
 	slots[k] = nil
 	m.tab.Store(&table{slots: slots})
+	// Decommit after unpublishing: live==0 proved no chunk references the
+	// window (the draining→zero-live fence above), and the hole in the
+	// table keeps any new allocation out of it, so giving the pages back
+	// here is the moment the shrink becomes visible to the OS.
+	if m.region != nil {
+		if err := m.region.Decommit(k); err != nil {
+			return true, fmt.Errorf("multi: retired slot %d but decommit failed: %w", k, err)
+		}
+	}
 	return true, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/alloc"
+	"repro/internal/mem"
 	"repro/internal/multi"
 
 	_ "repro/internal/core"
@@ -418,5 +419,50 @@ func TestScrubForwardsToInstances(t *testing.T) {
 			t.Fatalf("instance %d cannot serve max-size after Scrub", k)
 		}
 		h.Free(off)
+	}
+}
+
+// TestBindMemoryContract covers the router-side mapped-backing rules:
+// window geometry must match the instance span, binding commits every
+// published slot's window, and the Name gains the mapped prefix so
+// stacked labels reveal the backing.
+func TestBindMemoryContract(t *testing.T) {
+	m, err := multi.New("1lvl-nb", 2, per, multi.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := mem.New(per.Total/2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindMemory(wrong); err == nil {
+		t.Fatal("BindMemory accepted a mismatched window size")
+	}
+	r, err := mem.New(per.Total, 1) // short: BindMemory must Ensure the rest
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindMemory(r); err != nil {
+		t.Fatal(err)
+	}
+	if m.Memory() != r {
+		t.Fatal("Memory() does not expose the bound region")
+	}
+	if r.Windows() != 2 || !r.Committed(0) || !r.Committed(1) {
+		t.Fatalf("bind must reserve and commit every published slot: windows=%d map=%v",
+			r.Windows(), r.CommitMap())
+	}
+	if m.Name() != "mapped+multi[2x 1lvl-nb]" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+	// AddInstance appends a slot; its window is committed before the
+	// instance can serve.
+	m.EnableLiveTracking()
+	k, err := m.AddInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Committed(k) {
+		t.Fatalf("added slot %d's window not committed", k)
 	}
 }

@@ -101,6 +101,7 @@ func TestConformanceRegistryComposites(t *testing.T) {
 	for _, name := range []string{
 		"cached+4lvl-nb", "multi4+4lvl-nb", "cached+multi4+4lvl-nb",
 		"depot+4lvl-nb", "depot+multi4+4lvl-nb", "elastic+multi+4lvl-nb",
+		"mapped+elastic+multi+4lvl-nb",
 	} {
 		t.Run(name, func(t *testing.T) { alloctest.Run(t, name) })
 	}

@@ -24,6 +24,7 @@ func TestDifferentialRegistryComposites(t *testing.T) {
 		"depot+4lvl-nb",
 		"depot+multi4+4lvl-nb",
 		"elastic+multi+4lvl-nb",
+		"mapped+elastic+multi+4lvl-nb",
 	}
 	for _, name := range composites {
 		name := name

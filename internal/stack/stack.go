@@ -28,6 +28,7 @@ import (
 	"repro/internal/arena"
 	"repro/internal/elastic"
 	"repro/internal/frontend"
+	"repro/internal/mem"
 	"repro/internal/multi"
 	"repro/internal/trace"
 )
@@ -70,7 +71,21 @@ type Spec struct {
 	Record *trace.Trace
 	// Materialize wraps the stack in a real-memory arena sized to the
 	// global offset span (per-instance sub-arenas over a multi router).
+	// Over a Mapped stack the arena borrows the router's region instead of
+	// allocating its own — which is also what permits the formerly
+	// rejected Elastic+Materialize composition: the byte windows follow
+	// the router's commit/decommit lifecycle as the table grows.
 	Materialize bool
+	// Mapped backs each instance's offset window with platform mapped
+	// memory bound to the multi router (requires Instances >= 1): windows
+	// are committed while their slot is published and decommitted when it
+	// retires, so an elastic shrink returns RSS to the OS (internal/mem;
+	// on non-Linux platforms the portable fallback keeps the lifecycle
+	// bookkeeping without the RSS effect).
+	Mapped bool
+	// HugePages requests MADV_HUGEPAGE for mapped windows; it only takes
+	// effect when the per-instance span is a multiple of mem.HugePageSize.
+	HugePages bool
 }
 
 // Stack is a built layer stack. Top serves the composed contract; the
@@ -92,6 +107,8 @@ type Stack struct {
 	Trace *trace.Allocator
 	// Arena is the materialized-region layer (nil when not Materialize).
 	Arena *arena.Allocator
+	// Mem is the mapped backing region (nil when not Mapped).
+	Mem *mem.Region
 	// Variant is the leaf allocator label the stack was built from.
 	Variant string
 
@@ -124,14 +141,31 @@ func Build(s Spec) (*Stack, error) {
 		if s.Instances < 1 {
 			return nil, fmt.Errorf("stack: elastic requires the multi router (Instances >= 1)")
 		}
-		if s.Materialize {
-			return nil, fmt.Errorf("stack: elastic stacks cannot materialize (the offset span grows at runtime)")
+		if s.Materialize && !s.Mapped {
+			return nil, fmt.Errorf("stack: elastic stacks can only materialize over mapped memory (Mapped), so the byte windows follow the growing instance table")
 		}
+	}
+	if s.Mapped && s.Instances < 1 {
+		return nil, fmt.Errorf("stack: mapped memory requires the multi router (Instances >= 1); a fixed single-instance stack wants Materialize")
 	}
 	if s.Instances >= 1 {
 		m, err := multi.New(s.Variant, s.Instances, s.Per, s.Policy)
 		if err != nil {
 			return nil, err
+		}
+		if s.Mapped {
+			var opts []mem.Option
+			if s.HugePages {
+				opts = append(opts, mem.WithHugePages())
+			}
+			r, err := mem.New(m.InstanceSpan(), m.Slots(), opts...)
+			if err != nil {
+				return nil, fmt.Errorf("stack: reserving mapped backing: %w", err)
+			}
+			if err := m.BindMemory(r); err != nil {
+				return nil, fmt.Errorf("stack: binding mapped backing: %w", err)
+			}
+			st.Mem = r
 		}
 		st.Multi = m
 		st.Backend = m
@@ -285,6 +319,19 @@ func init() {
 		n := registryInstances(4, cfg)
 		ec := &elastic.Config{MinInstances: 1, MaxInstances: 2 * n}
 		st, err := Build(Spec{Variant: "4lvl-nb", Per: perConfig(cfg, n), Instances: n, Elastic: ec})
+		if err != nil {
+			return nil, err
+		}
+		return st.Top, nil
+	})
+	// Mapped elastic composite: the same capacity manager, but every
+	// instance window is backed by platform mapped memory following the
+	// slot lifecycle — a retirement decommits its window (RSS returns to
+	// the OS) and a later grow recommits it.
+	alloc.Register("mapped+elastic+multi+4lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
+		n := registryInstances(4, cfg)
+		ec := &elastic.Config{MinInstances: 1, MaxInstances: 2 * n}
+		st, err := Build(Spec{Variant: "4lvl-nb", Per: perConfig(cfg, n), Instances: n, Elastic: ec, Mapped: true})
 		if err != nil {
 			return nil, err
 		}

@@ -54,6 +54,7 @@ import (
 	"repro/internal/elastic"
 	"repro/internal/frontend"
 	"repro/internal/geometry"
+	"repro/internal/mem"
 	"repro/internal/multi"
 	"repro/internal/stack"
 	"repro/internal/trace"
@@ -146,6 +147,8 @@ type options struct {
 	batchRefill int
 	record      *trace.Trace
 	materialize bool
+	mapped      bool
+	hugePages   bool
 }
 
 // WithVariant selects the allocator implementation (default Variant4Lvl).
@@ -181,6 +184,33 @@ func WithElastic(cfg ElasticConfig) Option {
 		}
 	}
 }
+
+// WithMappedMemory backs each instance's offset window with platform
+// mapped memory bound to the multi router (implying WithInstances(1)
+// when no instance count was set): on Linux the windows live in
+// mmap-reserved address space that is committed (mprotect + touch) while
+// the instance is published and decommitted (MADV_DONTNEED) when an
+// elastic retirement unpublishes it — the point where a shrink actually
+// returns RSS to the OS. Other platforms run a portable bookkeeping
+// fallback with identical lifecycle semantics and no RSS effect.
+// Composes with WithElastic (the lifecycle driver) and with
+// WithMaterializedRegion (the arena borrows the router's windows, so
+// Bytes follows the commit map). Commit accounting surfaces in
+// LayerStats as mem_reserved / mem_committed / mem_decommits /
+// mem_recommits, and in MemStats.
+func WithMappedMemory() Option {
+	return func(o *options) {
+		o.mapped = true
+		if o.instances < 1 {
+			o.instances = 1
+		}
+	}
+}
+
+// WithHugePages requests MADV_HUGEPAGE for mapped windows (Linux only;
+// effective when the per-instance Total is a multiple of 2MiB — see
+// internal/mem's alignment rule). Only meaningful with WithMappedMemory.
+func WithHugePages() Option { return func(o *options) { o.hugePages = true } }
 
 // WithFrontend layers per-worker caching magazines over the back-end:
 // every NewHandle becomes a caching handle with the given per-size-class
@@ -232,6 +262,8 @@ func build(cfg Config, o options) (*Buddy, error) {
 		BatchRefill:   o.batchRefill,
 		Record:        o.record,
 		Materialize:   o.materialize,
+		Mapped:        o.mapped,
+		HugePages:     o.hugePages,
 	})
 	if err != nil {
 		return nil, err
@@ -340,7 +372,9 @@ func (b *Buddy) Materialized() bool { return b.st.Arena != nil }
 
 // Bytes returns the memory window of a live allocation as a slice; the
 // instance must have been built WithMaterializedRegion. The slice is valid
-// until the chunk is freed.
+// until the chunk is freed, and only while the Buddy stays reachable —
+// it views mapped memory that is unmapped when the stack is collected,
+// so hold the Buddy for as long as any of its byte windows.
 func (b *Buddy) Bytes(offset uint64) []byte {
 	if b.st.Arena == nil {
 		panic("nbbs: Bytes on a stack without WithMaterializedRegion")
@@ -391,6 +425,35 @@ func (b *Buddy) Multi() *Multi { return b.st.Multi }
 // policy on a background interval; Counters and Utilization report the
 // lifecycle state.
 func (b *Buddy) Elastic() *ElasticManager { return b.st.Elastic }
+
+// MemStats is the mapped backing region's commit accounting; see
+// Buddy.MemStats.
+type MemStats = mem.Stats
+
+// MemRegion is the mapped backing region layer; see Buddy.Memory.
+type MemRegion = mem.Region
+
+// Mapped reports whether the stack was built WithMappedMemory.
+func (b *Buddy) Mapped() bool { return b.st.Mem != nil }
+
+// MappedBacking reports whether this platform's mapped-memory backend
+// really maps and unmaps pages (Linux — decommits return RSS to the OS)
+// or runs the portable bookkeeping fallback.
+func MappedBacking() bool { return mem.Mapped() }
+
+// Memory exposes the mapped backing region (nil unless built
+// WithMappedMemory) — per-window commit states via CommitMap, lifecycle
+// accounting via Stats.
+func (b *Buddy) Memory() *MemRegion { return b.st.Mem }
+
+// MemStats returns the mapped backing region's commit accounting; ok is
+// false for stacks built without WithMappedMemory.
+func (b *Buddy) MemStats() (MemStats, bool) {
+	if b.st.Mem == nil {
+		return MemStats{}, false
+	}
+	return b.st.Mem.Stats(), true
+}
 
 // CachedHandle is a per-worker handle with magazine caching in front of
 // the instance (the paper's front-end/back-end composition). Frees park

@@ -480,3 +480,55 @@ func TestConfigGeometry(t *testing.T) {
 		t.Error("bad geometry accepted")
 	}
 }
+
+// TestMappedMemoryFacade drives the mapped backing through the public
+// API: WithMappedMemory + WithElastic + WithMaterializedRegion builds
+// (the arena borrows the router's lifecycle-following region), the
+// commit accounting is exposed, and a retire visibly decommits.
+func TestMappedMemoryFacade(t *testing.T) {
+	b, err := nbbs.New(cfg,
+		nbbs.WithInstances(2),
+		nbbs.WithElastic(nbbs.ElasticConfig{MinInstances: 1, MaxInstances: 2, Hysteresis: 1}),
+		nbbs.WithMappedMemory(),
+		nbbs.WithMaterializedRegion(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Mapped() || b.Memory() == nil {
+		t.Fatal("stack does not report its mapped backing")
+	}
+	ms, ok := b.MemStats()
+	if !ok || ms.CommittedBytes != 2*cfg.Total {
+		t.Fatalf("MemStats = %+v/%v, want both windows committed", ms, ok)
+	}
+	// Materialized bytes work over the mapped region.
+	buf, off, ok := b.AllocBytes(256)
+	if !ok {
+		t.Fatal("AllocBytes failed")
+	}
+	buf[0] = 0xEE
+	if b.Bytes(off)[0] != 0xEE {
+		t.Fatal("mapped window does not alias")
+	}
+	b.Free(off)
+	// An idle poll retires one instance and decommits its window.
+	b.Elastic().Poll()
+	b.Elastic().Poll()
+	if b.Instances() != 1 {
+		t.Fatalf("Instances = %d after idle polls, want 1", b.Instances())
+	}
+	ms, _ = b.MemStats()
+	if ms.CommittedBytes != cfg.Total || ms.Decommits != 1 {
+		t.Fatalf("after retire: %+v, want one decommitted window", ms)
+	}
+	committed := 0
+	for _, c := range b.Memory().CommitMap() {
+		if c {
+			committed++
+		}
+	}
+	if committed != 1 {
+		t.Fatalf("commit map shows %d committed windows, want 1", committed)
+	}
+}
