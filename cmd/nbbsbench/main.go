@@ -44,6 +44,7 @@ func main() {
 		workloadName = flag.String("workload", "linux-scalability", "comma-separated workloads: linux-scalability | thread-test | larson | constant-occupancy | remote-free | frag | burst")
 		allocators   = flag.String("alloc", strings.Join(harness.AllocatorsUserSpace, ","), "comma-separated allocator variants")
 		threads      = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+		procsFlag    = flag.String("procs", "", "comma-separated GOMAXPROCS values (e.g. 1,4,8): run every cell once per value and report scaling efficiency (throughput@P / P*throughput@1); empty = current GOMAXPROCS only")
 		sizes        = flag.String("sizes", "8,128,1024", "comma-separated request sizes in bytes")
 		total        = flag.Uint64("total", harness.UserSpaceInstance.Total, "managed bytes per instance (power of two)")
 		minSize      = flag.Uint64("min", harness.UserSpaceInstance.MinSize, "allocation unit in bytes (power of two)")
@@ -107,6 +108,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	procsList := []int{0} // 0 = leave GOMAXPROCS alone, no procs stamp
+	if *procsFlag != "" {
+		procsList, err = harness.ParseThreads(*procsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range procsList {
+			if p < 1 {
+				fatal(fmt.Errorf("-procs values must be positive, got %d", p))
+			}
+		}
+	}
 	sweep := harness.Sweep{
 		Allocators: strings.Split(*allocators, ","),
 		Threads:    threadList,
@@ -123,11 +136,14 @@ func main() {
 	var cells []harness.Cell
 	for _, w := range workloads {
 		sweep.Workload = w
-		ws, err := sweep.Run(progress)
-		if err != nil {
-			fatal(err)
+		for _, p := range procsList {
+			sweep.Procs = p
+			ws, err := sweep.Run(progress)
+			if err != nil {
+				fatal(err)
+			}
+			cells = append(cells, ws...)
 		}
-		cells = append(cells, ws...)
 	}
 	if *jsonOut {
 		if err := harness.JSON(os.Stdout, *label, cells); err != nil {
@@ -154,6 +170,9 @@ func main() {
 			harness.Table(os.Stdout, fmt.Sprintf("%s - Bytes=%d", w, size), sub, size, sweep.Allocators, metric)
 			fmt.Println()
 		}
+	}
+	if *procsFlag != "" {
+		harness.ScalingTable(os.Stdout, cells)
 	}
 }
 

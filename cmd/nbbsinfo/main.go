@@ -46,6 +46,8 @@ func main() {
 		depot       = flag.Bool("depot", false, "attach the shared magazine depot to the front-end (implies -cached)")
 		materialize = flag.Bool("materialize", false, "back the offset space with real memory")
 		mapped      = flag.Bool("mem", false, "back instance windows with mapped memory following the slot lifecycle (prints the commit map)")
+		sharded     = flag.Bool("shard", false, "layer per-CPU sharded routing over the router (prints per-shard counters; with -mem, the window NUMA-node map)")
+		shards      = flag.Int("shards", 0, "shard count for -shard (0 = GOMAXPROCS)")
 		elastic     = flag.Bool("elastic", false, "wrap the router with the elastic capacity manager (demo polls it in the background)")
 		elasticMin  = flag.Int("elastic-min", 1, "elastic instance floor")
 		elasticMax  = flag.Int("elastic-max", 0, "elastic instance cap (0 = twice the initial instances)")
@@ -110,6 +112,8 @@ func main() {
 			depot:       *depot,
 			materialize: *materialize,
 			mapped:      *mapped,
+			sharded:     *sharded,
+			shards:      *shards,
 			elastic:     *elastic,
 			elasticMin:  *elasticMin,
 			elasticMax:  *elasticMax,
@@ -128,6 +132,8 @@ type stackConfig struct {
 	depot       bool
 	materialize bool
 	mapped      bool
+	sharded     bool
+	shards      int
 	elastic     bool
 	elasticMin  int
 	elasticMax  int
@@ -156,6 +162,9 @@ func demo(sc stackConfig) {
 	}
 	if sc.mapped {
 		opts = append(opts, nbbs.WithMappedMemory())
+	}
+	if sc.sharded {
+		opts = append(opts, nbbs.WithSharding(sc.shards))
 	}
 	if sc.materialize {
 		opts = append(opts, nbbs.WithMaterializedRegion())
@@ -230,6 +239,22 @@ func demo(sc stackConfig) {
 	if mgr := b.Elastic(); mgr != nil {
 		mgr.Poll() // the stack is drained: complete any pending retires
 	}
+	if sh := b.Sharded(); sh != nil {
+		tot := sh.Totals()
+		hitPct := 0.0
+		if tot.Hits+tot.Misses > 0 {
+			hitPct = float64(tot.Hits) / float64(tot.Hits+tot.Misses) * 100
+		}
+		fmt.Printf("\nper-CPU sharded routing: %d shards (%.1f%% cache hit rate)\n", tot.Shards, hitPct)
+		fmt.Printf("  totals: hits=%d misses=%d local_frees=%d remote_frees=%d stash_drains=%d flushed=%d pin_wraps=%d pin_fallbacks=%d\n",
+			tot.Hits, tot.Misses, tot.LocalFrees, tot.RemoteFrees, tot.StashDrains, tot.Flushed, tot.PinWraps, tot.PinFallbacks)
+		fmt.Printf("  %-6s %10s %10s %12s %13s %13s %10s %8s %8s\n",
+			"shard", "hits", "misses", "local frees", "remote frees", "stash drains", "flushed", "cached", "stashed")
+		for _, si := range sh.ShardInfos() {
+			fmt.Printf("  %-6d %10d %10d %12d %13d %13d %10d %8d %8d\n",
+				si.Shard, si.Hits, si.Misses, si.LocalFrees, si.RemoteFrees, si.StashDrains, si.Flushed, si.CachedNow, si.StashedNow)
+		}
+	}
 	if r := b.Memory(); r != nil {
 		s := r.Stats()
 		backing := "portable fallback (bookkeeping only)"
@@ -242,13 +267,29 @@ func demo(sc stackConfig) {
 		fmt.Printf("  lifecycle: commits=%d decommits=%d recommits=%d\n",
 			s.Commits, s.Decommits, s.Recommits)
 		fmt.Printf("  commit map:\n")
+		nodes := r.NodeMap()
 		for k, committed := range r.CommitMap() {
 			state := "decommitted"
 			if committed {
 				state = "committed"
 			}
-			fmt.Printf("    window %-3d [%#012x, %#012x)  %s\n",
-				k, uint64(k)*r.WindowSize(), uint64(k+1)*r.WindowSize(), state)
+			node := ""
+			if r.NUMAPolicy() && k < len(nodes) {
+				if nodes[k] >= 0 {
+					node = fmt.Sprintf("  numa-node=%d", nodes[k])
+				} else {
+					node = "  numa-node=unplaced"
+				}
+			}
+			fmt.Printf("    window %-3d [%#012x, %#012x)  %s%s\n",
+				k, uint64(k)*r.WindowSize(), uint64(k+1)*r.WindowSize(), state, node)
+		}
+		if r.NUMAPolicy() {
+			aware := "policy recorded only (single node or no syscalls)"
+			if nbbs.NUMABacking() {
+				aware = "mbind preferred placement active"
+			}
+			fmt.Printf("  numa: %d online node(s); %s\n", len(nbbs.NUMANodes()), aware)
 		}
 	}
 

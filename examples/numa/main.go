@@ -1,14 +1,24 @@
-// NUMA: multi-instance deployment with skewed load — the scenario the
-// paper's related-work discussion uses to motivate a faster back-end.
+// NUMA: per-CPU sharded routing with NUMA-aware memory placement — the
+// deployment the paper's related-work discussion motivates, made real.
 //
-// Multiple same-geometry buddy instances stand behind one offset space
-// (one per simulated NUMA node) and handles are spread round-robin, like
-// threads bound to nodes. The request load is then skewed: most workers
-// hammer whatever instance their handle prefers, but a hot group all
-// lands on the same one — the "peak of requests saturating cached
-// allocation" case where the single instance's own scalability decides
-// throughput. Run it with -variant 4lvl-nb and -variant 1lvl-sl to see
-// the difference data separation alone cannot hide.
+// The stack is the full PR 6 composition: per-CPU shards over the
+// multi-instance router with mapped, NUMA-placed backing memory. Every
+// worker's operations key to the shard of the CPU they run on; each
+// shard prefers its own instance, whose window was committed onto the
+// NUMA node of that CPU (mbind preferred policy before the first touch).
+// The demo drives a mixed load, then:
+//
+//   - prints the shard counters (cache hit rate, remote-free stash
+//     traffic) and the window -> NUMA-node map;
+//   - asserts the placement: for every committed window, the node the
+//     kernel reports for its first page (get_mempolicy) must equal the
+//     node the policy assigned (NodeMap). On single-node machines and
+//     platforms without the syscalls the assertion passes trivially —
+//     the policy is bookkeeping-only there, and the demo says so.
+//
+// A second phase skews the load (every worker frees chunks a designated
+// producer allocated) to show the remote-free stash path absorbing
+// cross-shard traffic.
 package main
 
 import (
@@ -16,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -24,28 +35,34 @@ import (
 
 func main() {
 	var (
-		nodes   = flag.Int("nodes", 4, "simulated NUMA nodes (allocator instances)")
-		workers = flag.Int("workers", 16, "worker goroutines")
-		hot     = flag.Float64("hot", 0.5, "fraction of workers whose handles all prefer node 0")
-		ops     = flag.Int("ops", 200000, "alloc/free pairs per worker")
-		variant = flag.String("variant", nbbs.Variant4Lvl, "allocator variant per instance")
+		instances = flag.Int("instances", 4, "back-end instances (one per shard when possible)")
+		workers   = flag.Int("workers", 8, "worker goroutines")
+		ops       = flag.Int("ops", 200000, "alloc/free pairs per worker")
+		variant   = flag.String("variant", nbbs.Variant4Lvl, "allocator variant per instance")
 	)
 	flag.Parse()
 
-	m, err := nbbs.NewMulti(nbbs.MultiConfig{
-		Instances: *nodes,
-		Per:       nbbs.Config{Total: 32 << 20, MinSize: 64, MaxSize: 64 << 10},
-	}, nbbs.WithVariant(*variant))
+	b, err := nbbs.New(nbbs.Config{Total: 32 << 20, MinSize: 64, MaxSize: 64 << 10},
+		nbbs.WithVariant(*variant),
+		nbbs.WithInstances(*instances),
+		nbbs.WithMappedMemory(),
+		nbbs.WithSharding(0), // GOMAXPROCS shards
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s: %d workers, %.0f%% pinned hot on one instance\n", m.Name(), *workers, *hot*100)
+	sh := b.Sharded()
+	fmt.Printf("%s: %d workers, %d shards over %d instances\n",
+		b.Name(), *workers, sh.Shards(), b.Instances())
+	if nbbs.NUMABacking() {
+		fmt.Printf("NUMA: %d online nodes, mbind placement active\n", len(nbbs.NUMANodes()))
+	} else {
+		fmt.Printf("NUMA: single node or no syscalls — placement is bookkeeping only\n")
+	}
 
-	// Handles are assigned round-robin over instances; creating the "hot"
-	// workers' handles first and discarding the spread ones afterwards
-	// models a skewed memory policy simply: hot workers share handle
-	// preference (instance 0 group), the rest stay spread.
-	hotWorkers := int(float64(*workers) * *hot)
+	// Phase 1: CPU-local churn. Every worker allocates and frees on its
+	// own shard; the steady state should be nearly all cache hits.
+	sizes := []uint64{64, 256, 1024, 8 << 10}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < *workers; w++ {
@@ -53,17 +70,8 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var h nbbs.Handle
-			if w < hotWorkers {
-				// All hot workers bind to the same node, like a skewed
-				// memory policy: NewHandleOn pins the handle's preferred
-				// instance explicitly (fallback still applies).
-				h = m.Multi().NewHandleOn(0)
-			} else {
-				h = m.NewHandle()
-			}
+			h := b.NewHandle()
 			rng := rand.New(rand.NewSource(int64(w)))
-			sizes := []uint64{64, 256, 1024, 8 << 10}
 			var live []uint64
 			for i := 0; i < *ops; i++ {
 				if off, ok := h.Alloc(sizes[rng.Intn(len(sizes))]); ok {
@@ -80,16 +88,79 @@ func main() {
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	local := time.Since(start)
+	tot := sh.Totals()
+	hitPct := float64(tot.Hits) / float64(tot.Hits+tot.Misses) * 100
+	s := b.Stats()
+	fmt.Printf("\nlocal churn: %d ops in %v (%.2f Mops/s), %.1f%% shard-cache hits\n",
+		s.OpsTotal(), local.Round(time.Millisecond),
+		float64(s.OpsTotal())/local.Seconds()/1e6, hitPct)
 
-	s := m.Stats()
-	fmt.Printf("completed %d ops in %v (%.2f Mops/s)\n",
-		s.OpsTotal(), elapsed.Round(time.Millisecond), float64(s.OpsTotal())/elapsed.Seconds()/1e6)
-	rs := m.Multi().RouteStats()
-	fmt.Printf("routing: %d preferred-instance allocations, %d fallbacks to other nodes\n",
-		rs.Routed, rs.Fallbacks)
-	for _, layer := range m.LayerStats() {
-		fmt.Printf("  layer %-22s allocs=%d frees=%d fails=%d extra=%v\n",
-			layer.Layer, layer.Stats.Allocs, layer.Stats.Frees, layer.Stats.AllocFails, layer.Extra)
+	// Phase 2: producer/consumer skew — workers free chunks a single
+	// producer handle allocated, so most frees are remote to the freeing
+	// shard and flow through the owners' inbound stashes.
+	prod := b.NewHandle()
+	ch := make(chan uint64, 1024)
+	var cwg sync.WaitGroup
+	consumers := *workers
+	for w := 0; w < consumers; w++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			h := b.NewHandle()
+			for off := range ch {
+				h.Free(off)
+			}
+		}()
+	}
+	start = time.Now()
+	remoteOps := *ops * 2
+	for i := 0; i < remoteOps; i++ {
+		if off, ok := prod.Alloc(sizes[i%len(sizes)]); ok {
+			ch <- off
+		}
+	}
+	close(ch)
+	cwg.Wait()
+	remote := time.Since(start)
+	tot = sh.Totals()
+	fmt.Printf("remote-free skew: %d pairs in %v (%.2f Mops/s), %d stash pushes, %d stash drains\n",
+		remoteOps, remote.Round(time.Millisecond),
+		float64(2*remoteOps)/remote.Seconds()/1e6, tot.RemoteFrees, tot.StashDrains)
+
+	b.Scrub()
+
+	// Placement report and assertion: the kernel's answer for each
+	// committed window must match the node the policy assigned.
+	r := b.Memory()
+	nodes := r.NodeMap()
+	fmt.Printf("\nwindow -> NUMA node map:\n")
+	violations := 0
+	for k, assigned := range nodes {
+		if !r.Committed(k) {
+			fmt.Printf("  window %-3d decommitted (assigned node %d)\n", k, assigned)
+			continue
+		}
+		line := fmt.Sprintf("  window %-3d assigned node %-3d", k, assigned)
+		if got, ok := nbbs.NodeOfWindow(r, k); ok {
+			line += fmt.Sprintf(" kernel reports %-3d", got)
+			if nbbs.NUMABacking() && got != assigned {
+				line += "  MISMATCH"
+				violations++
+			}
+		} else {
+			line += " kernel placement unavailable"
+		}
+		fmt.Println(line)
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "numa: %d window(s) placed off their assigned node\n", violations)
+		os.Exit(1)
+	}
+	fmt.Printf("placement verified: every committed window is on its assigned node\n")
+
+	for _, layer := range b.LayerStats() {
+		fmt.Printf("  layer %-28s allocs=%d frees=%d fails=%d\n",
+			layer.Layer, layer.Stats.Allocs, layer.Stats.Frees, layer.Stats.AllocFails)
 	}
 }

@@ -21,6 +21,10 @@ type CellDelta struct {
 	Allocator string
 	Bytes     uint64
 	Threads   int
+	// Procs distinguishes -procs sweep cells; 0 for plain-grid cells
+	// (which is also what pre-procs baselines report, so old and new
+	// standard grids keep pairing).
+	Procs int
 	// BaseOps and FreshOps are ops/sec; a side missing the cell reports 0
 	// there and In marks which sides carried it.
 	BaseOps  float64
@@ -38,7 +42,7 @@ func (d CellDelta) DeltaPct() float64 {
 }
 
 func cellKey(c JSONCell) string {
-	return fmt.Sprintf("%s|%s|%d|%d", c.Workload, c.Allocator, c.Bytes, c.Threads)
+	return fmt.Sprintf("%s|%s|%d|%d|%d", c.Workload, c.Allocator, c.Bytes, c.Threads, c.Procs)
 }
 
 // DiffReports pairs the two reports' cells and returns the deltas in the
@@ -58,7 +62,7 @@ func DiffReports(base, fresh JSONReport) []CellDelta {
 		seen[k] = true
 		d := CellDelta{
 			Workload: b.Workload, Allocator: b.Allocator, Bytes: b.Bytes, Threads: b.Threads,
-			BaseOps: b.OpsPerSec, In: "baseline-only",
+			Procs: b.Procs, BaseOps: b.OpsPerSec, In: "baseline-only",
 		}
 		if f, ok := freshBy[k]; ok {
 			d.FreshOps = f.OpsPerSec
@@ -72,7 +76,7 @@ func DiffReports(base, fresh JSONReport) []CellDelta {
 			seen[cellKey(f)] = true
 			extra = append(extra, CellDelta{
 				Workload: f.Workload, Allocator: f.Allocator, Bytes: f.Bytes, Threads: f.Threads,
-				FreshOps: f.OpsPerSec, In: "fresh-only",
+				Procs: f.Procs, FreshOps: f.OpsPerSec, In: "fresh-only",
 			})
 		}
 	}
@@ -98,11 +102,11 @@ func WriteDiff(w io.Writer, baseLabel, freshLabel string, deltas []CellDelta, ma
 		freshLabel = "fresh"
 	}
 	if markdown {
-		fmt.Fprintf(w, "| workload | allocator | bytes | threads | %s Mops/s | %s Mops/s | delta |\n", baseLabel, freshLabel)
-		fmt.Fprintf(w, "|---|---|---:|---:|---:|---:|---:|\n")
+		fmt.Fprintf(w, "| workload | allocator | bytes | threads | procs | %s Mops/s | %s Mops/s | delta |\n", baseLabel, freshLabel)
+		fmt.Fprintf(w, "|---|---|---:|---:|---:|---:|---:|---:|\n")
 	} else {
-		fmt.Fprintf(w, "%-14s %-24s %7s %8s %14s %14s %9s\n",
-			"workload", "allocator", "bytes", "threads", baseLabel+" Mops/s", freshLabel+" Mops/s", "delta")
+		fmt.Fprintf(w, "%-14s %-24s %7s %8s %6s %14s %14s %9s\n",
+			"workload", "allocator", "bytes", "threads", "procs", baseLabel+" Mops/s", freshLabel+" Mops/s", "delta")
 	}
 	for _, d := range deltas {
 		delta := "new"
@@ -112,12 +116,16 @@ func WriteDiff(w io.Writer, baseLabel, freshLabel string, deltas []CellDelta, ma
 		case "baseline-only":
 			delta = "gone"
 		}
+		procs := "-"
+		if d.Procs > 0 {
+			procs = fmt.Sprintf("%d", d.Procs)
+		}
 		if markdown {
-			fmt.Fprintf(w, "| %s | %s | %d | %d | %s | %s | %s |\n",
-				d.Workload, d.Allocator, d.Bytes, d.Threads, mops(d.BaseOps), mops(d.FreshOps), delta)
+			fmt.Fprintf(w, "| %s | %s | %d | %d | %s | %s | %s | %s |\n",
+				d.Workload, d.Allocator, d.Bytes, d.Threads, procs, mops(d.BaseOps), mops(d.FreshOps), delta)
 		} else {
-			fmt.Fprintf(w, "%-14s %-24s %7d %8d %14s %14s %9s\n",
-				d.Workload, d.Allocator, d.Bytes, d.Threads, mops(d.BaseOps), mops(d.FreshOps), delta)
+			fmt.Fprintf(w, "%-14s %-24s %7d %8d %6s %14s %14s %9s\n",
+				d.Workload, d.Allocator, d.Bytes, d.Threads, procs, mops(d.BaseOps), mops(d.FreshOps), delta)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -35,12 +36,21 @@ type Sweep struct {
 	Reps int
 	// Seed feeds the workload RNGs.
 	Seed int64
+	// Procs, when positive, pins GOMAXPROCS for the whole sweep —
+	// allocator builds included, so GOMAXPROCS-derived construction
+	// parameters (shard counts, conv-pool widths) see the same value the
+	// workload runs under — and stamps every cell with it. 0 leaves the
+	// runtime untouched and the cells unstamped.
+	Procs int
 }
 
 // Cell is one measured grid point.
 type Cell struct {
 	workload.Result
 	Summary stats.Summary // seconds across reps
+	// Procs is the GOMAXPROCS the cell ran under (0 = whatever the
+	// process default was; only -procs sweeps stamp it).
+	Procs int
 }
 
 // Run executes the sweep, streaming per-cell progress lines to progress
@@ -53,6 +63,9 @@ func (s Sweep) Run(progress io.Writer) ([]Cell, error) {
 	reps := s.Reps
 	if reps <= 0 {
 		reps = 1
+	}
+	if s.Procs > 0 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(s.Procs))
 	}
 	var cells []Cell
 	for _, size := range s.Sizes {
@@ -90,11 +103,15 @@ func (s Sweep) Run(progress io.Writer) ([]Cell, error) {
 				// Pool ops and elapsed across reps so Throughput is the
 				// pooled mean, not the last rep's sample.
 				last.Ops, last.Fails, last.Elapsed = totOps, totFails, totElapsed
-				cell := Cell{Result: last, Summary: stats.Summarize(samples)}
+				cell := Cell{Result: last, Summary: stats.Summarize(samples), Procs: s.Procs}
 				cells = append(cells, cell)
 				if progress != nil {
-					fmt.Fprintf(progress, "%-20s %-12s bytes=%-7d threads=%-3d %10.3fs %12.0f ops/s\n",
-						s.Workload, name, size, threads, cell.Summary.Mean, cell.Throughput())
+					procNote := ""
+					if s.Procs > 0 {
+						procNote = fmt.Sprintf(" procs=%-3d", s.Procs)
+					}
+					fmt.Fprintf(progress, "%-20s %-12s bytes=%-7d threads=%-3d%s %10.3fs %12.0f ops/s\n",
+						s.Workload, name, size, threads, procNote, cell.Summary.Mean, cell.Throughput())
 				}
 			}
 		}
@@ -205,6 +222,14 @@ type JSONCell struct {
 	Ops        uint64  `json:"ops"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
 	Fails      uint64  `json:"fails"`
+	// Procs is the GOMAXPROCS the cell ran under; 0 (omitted) for cells
+	// of a plain sweep, which keeps old baselines and fresh standard
+	// grids keying identically in trajectory diffs.
+	Procs int `json:"procs,omitempty"`
+	// ScalingEff is throughput@P / (P * throughput@1) against the same
+	// grid point's P=1 cell — 1.0 is perfect scaling. Only stamped on
+	// -procs sweep cells whose P=1 companion exists in the same report.
+	ScalingEff float64 `json:"scaling_efficiency,omitempty"`
 }
 
 // JSONReport is the machine-readable benchmark report emitted by
@@ -216,11 +241,19 @@ type JSONReport struct {
 	Cells  []JSONCell `json:"cells"`
 }
 
-// Report converts measured cells into a machine-readable report.
+// Report converts measured cells into a machine-readable report,
+// stamping scaling efficiency on -procs sweep cells (see
+// JSONCell.ScalingEff).
 func Report(label string, cells []Cell) JSONReport {
 	rep := JSONReport{Schema: JSONSchema, Label: label}
+	base := map[string]float64{} // grid point -> throughput at procs=1
 	for _, c := range cells {
-		rep.Cells = append(rep.Cells, JSONCell{
+		if c.Procs == 1 {
+			base[fmt.Sprintf("%s|%s|%d|%d", c.Workload, c.Allocator, c.Size, c.Threads)] = c.Throughput()
+		}
+	}
+	for _, c := range cells {
+		jc := JSONCell{
 			Workload:   c.Workload,
 			Allocator:  c.Allocator,
 			Bytes:      c.Size,
@@ -233,9 +266,76 @@ func Report(label string, cells []Cell) JSONReport {
 			Ops:        c.Ops,
 			OpsPerSec:  c.Throughput(),
 			Fails:      c.Fails,
-		})
+			Procs:      c.Procs,
+		}
+		if c.Procs > 0 {
+			k := fmt.Sprintf("%s|%s|%d|%d", c.Workload, c.Allocator, c.Size, c.Threads)
+			if b, ok := base[k]; ok && b > 0 {
+				jc.ScalingEff = c.Throughput() / (float64(c.Procs) * b)
+			}
+		}
+		rep.Cells = append(rep.Cells, jc)
 	}
 	return rep
+}
+
+// ScalingTable renders the -procs sweep cells as one row per grid point
+// with a "Mops/s (eff)" column per GOMAXPROCS value, where eff is the
+// scaling efficiency against the row's procs=1 cell (1.00 = perfect).
+// Cells without a Procs stamp are ignored.
+func ScalingTable(w io.Writer, cells []Cell) {
+	var procs []int
+	seenP := map[int]bool{}
+	type key struct {
+		workload, allocator string
+		size                uint64
+		threads             int
+	}
+	rows := map[key]map[int]Cell{}
+	var order []key
+	for _, c := range cells {
+		if c.Procs <= 0 {
+			continue
+		}
+		if !seenP[c.Procs] {
+			seenP[c.Procs] = true
+			procs = append(procs, c.Procs)
+		}
+		k := key{c.Workload, c.Allocator, c.Size, c.Threads}
+		if rows[k] == nil {
+			rows[k] = map[int]Cell{}
+			order = append(order, k)
+		}
+		rows[k][c.Procs] = c
+	}
+	if len(order) == 0 {
+		return
+	}
+	sort.Ints(procs)
+	fmt.Fprintf(w, "# scaling efficiency: Mops/s (throughput@P / P*throughput@1)\n")
+	fmt.Fprintf(w, "%-14s %-28s %7s %8s", "workload", "allocator", "bytes", "threads")
+	for _, p := range procs {
+		fmt.Fprintf(w, " %18s", fmt.Sprintf("procs=%d", p))
+	}
+	fmt.Fprintln(w)
+	for _, k := range order {
+		fmt.Fprintf(w, "%-14s %-28s %7d %8d", k.workload, k.allocator, k.size, k.threads)
+		baseCell, haveBase := rows[k][1]
+		for _, p := range procs {
+			c, ok := rows[k][p]
+			if !ok {
+				fmt.Fprintf(w, " %18s", "-")
+				continue
+			}
+			if haveBase && baseCell.Throughput() > 0 {
+				eff := c.Throughput() / (float64(p) * baseCell.Throughput())
+				fmt.Fprintf(w, " %18s", fmt.Sprintf("%.2f (%.2f)", c.Throughput()/1e6, eff))
+			} else {
+				fmt.Fprintf(w, " %18s", fmt.Sprintf("%.2f", c.Throughput()/1e6))
+			}
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // JSON renders cells as an indented machine-readable report.

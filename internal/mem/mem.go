@@ -79,6 +79,9 @@ type window struct {
 	// recommit.
 	committed   bool
 	decommitted bool
+	// node is the NUMA node the window was assigned at commit time under
+	// WithNUMAPolicy (-1 = never placed).
+	node int
 }
 
 // Region is a growable set of same-size windows with independent
@@ -86,6 +89,7 @@ type window struct {
 type Region struct {
 	winSize uint64
 	huge    bool
+	numa    bool
 
 	mu   sync.Mutex
 	wins []*window
@@ -159,7 +163,7 @@ func (r *Region) Ensure(n int) error {
 		if err != nil {
 			return fmt.Errorf("mem: reserving window %d (%d bytes): %w", len(r.wins), r.winSize, err)
 		}
-		r.wins = append(r.wins, &window{raw: raw, buf: buf})
+		r.wins = append(r.wins, &window{raw: raw, buf: buf, node: -1})
 	}
 	return nil
 }
@@ -180,6 +184,18 @@ func (r *Region) Commit(k int) error {
 	w := r.window(k)
 	if w.committed {
 		return nil
+	}
+	if r.numa {
+		// Install the placement BEFORE the commit touch: mbind sets the
+		// VMA's policy and the touch loop then first-faults every page
+		// onto the preferred node. On single-node machines and platforms
+		// without the syscalls the bind is a no-op but the assignment
+		// still lands in NodeMap.
+		w.node = r.nodeForWindow(k)
+		if len(numaNodeIDs()) > 1 {
+			// Best-effort: a failed bind costs locality, not correctness.
+			_ = osBindNode(w.buf, w.node)
+		}
 	}
 	if err := osCommit(w.buf, r.HugePages()); err != nil {
 		return fmt.Errorf("mem: committing window %d: %w", k, err)

@@ -1,0 +1,131 @@
+//go:build linux
+
+package mem
+
+import (
+	"os"
+	"sort"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// Linux NUMA backend: topology from sysfs, placement via the raw mbind
+// and get_mempolicy syscalls (numbers wired per-architecture in the
+// numa_sys_linux_*.go files; architectures without them degrade to the
+// bookkeeping-only behavior, same as non-Linux platforms).
+
+const (
+	// mpolPreferred allocates on the given node, silently falling back to
+	// others under memory pressure — the right strictness for an
+	// allocator that must keep serving when a node fills up.
+	mpolPreferred = 1
+	// get_mempolicy flags: return the node of the page at addr.
+	mpolFNode = 1
+	mpolFAddr = 2
+)
+
+var (
+	numaOnce  sync.Once
+	numaNodes []int
+	numaCPUs  map[int]int // cpu -> node
+)
+
+// numaDiscover reads the node topology from sysfs once. Any read or
+// parse failure leaves the single-node fallback, never an error: NUMA
+// placement is an optimization, and machines without the sysfs tree
+// (containers, odd kernels) just run unplaced.
+func numaDiscover() {
+	numaNodes = []int{0}
+	numaCPUs = map[int]int{}
+	online, err := os.ReadFile("/sys/devices/system/node/online")
+	if err != nil {
+		return
+	}
+	nodes, err := parseIDList(string(online))
+	if err != nil || len(nodes) == 0 {
+		return
+	}
+	sort.Ints(nodes)
+	numaNodes = nodes
+	for _, n := range nodes {
+		list, err := os.ReadFile("/sys/devices/system/node/node" + itoa(n) + "/cpulist")
+		if err != nil {
+			continue
+		}
+		cpus, err := parseIDList(string(list))
+		if err != nil {
+			continue
+		}
+		for _, c := range cpus {
+			numaCPUs[c] = n
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func numaNodeIDs() []int {
+	numaOnce.Do(numaDiscover)
+	return numaNodes
+}
+
+func nodeOfCPU(cpu int) int {
+	numaOnce.Do(numaDiscover)
+	if n, ok := numaCPUs[cpu]; ok {
+		return n
+	}
+	return numaNodes[0]
+}
+
+func numaSupported() bool {
+	numaOnce.Do(numaDiscover)
+	return numaHaveSyscalls
+}
+
+// osBindNode installs a preferred-node policy on the window's VMA. Called
+// before the commit touch, so first-touch faults the pages onto the
+// node. Best-effort by contract: a failure costs locality, not
+// correctness.
+func osBindNode(buf []byte, node int) error {
+	if !numaHaveSyscalls || len(buf) == 0 || node < 0 || node > 62 {
+		return nil
+	}
+	mask := uint64(1) << uint(node)
+	// maxnode counts one past the highest representable bit; 65 makes the
+	// kernel copy exactly the 8 mask bytes supplied.
+	_, _, errno := syscall.Syscall6(sysMbind,
+		uintptr(unsafe.Pointer(&buf[0])), uintptr(len(buf)),
+		mpolPreferred, uintptr(unsafe.Pointer(&mask)), 65, 0)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// osNodeOfAddr returns the node currently backing the page at p.
+func osNodeOfAddr(p unsafe.Pointer) (int, bool) {
+	if !numaHaveSyscalls {
+		return 0, false
+	}
+	var node int32
+	_, _, errno := syscall.Syscall6(sysGetMempolicy,
+		uintptr(unsafe.Pointer(&node)), 0, 0,
+		uintptr(p), mpolFNode|mpolFAddr, 0)
+	if errno != 0 || node < 0 {
+		return 0, false
+	}
+	return int(node), true
+}

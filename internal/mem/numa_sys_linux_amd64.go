@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package mem
+
+// Raw NUMA syscall numbers (x86-64 table).
+const (
+	sysMbind         = 237
+	sysGetMempolicy  = 239
+	numaHaveSyscalls = true
+)

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package mem
+
+// Raw NUMA syscall numbers (generic arm64 table).
+const (
+	sysMbind         = 235
+	sysGetMempolicy  = 236
+	numaHaveSyscalls = true
+)

@@ -1,0 +1,12 @@
+//go:build linux && !amd64 && !arm64
+
+package mem
+
+// Architectures without wired syscall numbers run the bookkeeping-only
+// NUMA path (the constants are never passed to Syscall6 when
+// numaHaveSyscalls is false).
+const (
+	sysMbind         = 0
+	sysGetMempolicy  = 0
+	numaHaveSyscalls = false
+)

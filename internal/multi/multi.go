@@ -28,12 +28,14 @@ package multi
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/alloc"
 	"repro/internal/geometry"
 	"repro/internal/mem"
+	"repro/internal/proc"
 )
 
 // Policy selects the preferred instance for a handle.
@@ -140,12 +142,24 @@ type Multi struct {
 	// handles is the registry of all handles ever created (for stats
 	// aggregation at quiescent points).
 	handles []*Handle
-	// free holds idle convenience handles for Multi.Alloc/Free. A plain
-	// free list (not sync.Pool) keeps the permanently-registered handle
-	// count bounded by the convenience path's peak concurrency —
-	// sync.Pool deliberately drops items (always under the race
-	// detector), which would regrow the registration leak.
+	// conv holds the idle convenience handles for Multi.Alloc/Free,
+	// sharded per P (indexed by proc.Hint masked to the pool count) so
+	// concurrent convenience callers stop bouncing one pool lock's cache
+	// line. Plain free lists (not sync.Pool) keep the
+	// permanently-registered handle count bounded by the convenience
+	// path's peak concurrency — sync.Pool deliberately drops items
+	// (always under the race detector), which would regrow the
+	// registration leak.
+	conv     []convShard
+	convMask int
+}
+
+// convShard is one per-P free list of idle convenience handles, padded
+// out to a cache line so neighboring shards' locks do not false-share.
+type convShard struct {
+	mu   sync.Mutex
 	free []*Handle
+	_    [32]byte
 }
 
 // New builds count instances of the named back-end variant.
@@ -154,6 +168,12 @@ func New(variant string, count int, cfg alloc.Config, policy Policy) (*Multi, er
 		return nil, fmt.Errorf("multi: instance count %d must be positive", count)
 	}
 	m := &Multi{variant: variant, cfg: cfg, policy: policy, span: cfg.Total}
+	pools := 1
+	for pools < runtime.GOMAXPROCS(0) && pools < 64 {
+		pools *= 2
+	}
+	m.conv = make([]convShard, pools)
+	m.convMask = pools - 1
 	slots := make([]*slot, count)
 	for i := 0; i < count; i++ {
 		s, err := m.buildSlot()
@@ -318,24 +338,28 @@ func (m *Multi) reservedFor(size uint64) uint64 {
 	return m.geo.SizeOfLevel(m.geo.LevelForSize(size))
 }
 
-// getConv pops an idle convenience handle, creating one only when all
-// are in flight.
+// getConv pops an idle convenience handle from the calling P's pool
+// shard, creating one only when that shard's are all in flight. A handle
+// taken from shard i may be returned to shard j after a migration; the
+// lists just shuffle, the registration bound is unaffected.
 func (m *Multi) getConv() *Handle {
-	m.mu.Lock()
-	if n := len(m.free); n > 0 {
-		h := m.free[n-1]
-		m.free = m.free[:n-1]
-		m.mu.Unlock()
+	c := &m.conv[proc.Hint()&m.convMask]
+	c.mu.Lock()
+	if n := len(c.free); n > 0 {
+		h := c.free[n-1]
+		c.free = c.free[:n-1]
+		c.mu.Unlock()
 		return h
 	}
-	m.mu.Unlock()
+	c.mu.Unlock()
 	return m.newHandle(m.prefer())
 }
 
 func (m *Multi) putConv(h *Handle) {
-	m.mu.Lock()
-	m.free = append(m.free, h)
-	m.mu.Unlock()
+	c := &m.conv[proc.Hint()&m.convMask]
+	c.mu.Lock()
+	c.free = append(c.free, h)
+	c.mu.Unlock()
 }
 
 // Alloc implements alloc.Allocator through a recycled convenience
@@ -412,6 +436,32 @@ func (m *Multi) NewHandleOn(instance int) alloc.Handle {
 		panic(fmt.Sprintf("multi: NewHandleOn(%d) with %d slots", instance, len(t.slots)))
 	}
 	return m.newHandle(instance)
+}
+
+// NewHandlePreferring is the non-panicking sibling of NewHandleOn for
+// affine callers above an elastic lifecycle (the per-CPU shard layer):
+// the handle prefers slot k when it is published, and falls back to the
+// routing policy's choice when k is out of range or a retired hole —
+// affinity is advisory there, not a binding.
+func (m *Multi) NewHandlePreferring(k int) *Handle {
+	t := m.tab.Load()
+	if k >= 0 && k < len(t.slots) && t.slots[k] != nil {
+		return m.newHandle(k)
+	}
+	return m.newHandle(m.prefer())
+}
+
+// Rehome moves the handle's preferred slot back to k when that slot is
+// published. Round-robin fallback deliberately drags the preference to
+// whatever instance served last (see Handle.Alloc); an affine owner —
+// shard k re-asserting "my instance is k" after a fallback excursion or
+// a stash drain — undoes the drag with this. Owner-goroutine only, like
+// every Handle method.
+func (h *Handle) Rehome(k int) {
+	t := h.m.tab.Load()
+	if k >= 0 && k < len(t.slots) && t.slots[k] != nil {
+		h.pref = k
+	}
 }
 
 func (m *Multi) newHandle(pref int) *Handle {

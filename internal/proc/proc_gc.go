@@ -1,0 +1,26 @@
+//go:build gc
+
+package proc
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+// Dynamic reports whether Hint returns a live processor id (true on the
+// gc toolchain) or the static fallback described in the package comment.
+const Dynamic = true
+
+//go:linkname runtimeProcPin runtime.procPin
+func runtimeProcPin() int
+
+//go:linkname runtimeProcUnpin runtime.procUnpin
+func runtimeProcUnpin()
+
+// Hint returns the id of the P the calling goroutine is running on, in
+// [0, GOMAXPROCS). Purely advisory: the goroutine may be migrated the
+// moment this returns.
+func Hint() int {
+	p := runtimeProcPin()
+	runtimeProcUnpin()
+	return p
+}

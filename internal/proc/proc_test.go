@@ -1,0 +1,40 @@
+package proc
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestHintInRange(t *testing.T) {
+	if !Dynamic {
+		t.Skip("static fallback: hints are hashes, not P ids")
+	}
+	max := runtime.GOMAXPROCS(0)
+	for i := 0; i < 1000; i++ {
+		if p := Hint(); p < 0 || p >= max {
+			t.Fatalf("Hint() = %d outside [0, %d)", p, max)
+		}
+	}
+}
+
+func TestHintConcurrent(t *testing.T) {
+	// No assertion beyond in-range and no race/panic: the hint is
+	// advisory, so all the contract guarantees under concurrency is that
+	// calling it from many goroutines is safe.
+	max := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				p := Hint()
+				if Dynamic && (p < 0 || p >= max) {
+					panic("hint out of range")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,302 @@
+package shard
+
+import (
+	"repro/internal/alloc"
+	"repro/internal/multi"
+	"repro/internal/proc"
+)
+
+// Handle is a per-worker view of the sharded layer: the hot path. Every
+// operation resolves the current shard from the processor hint, tries
+// the shard's cache, and only then descends into the trees through an
+// inner router handle affine to the shard's instance slot. Not safe for
+// concurrent use, like every alloc.Handle.
+type Handle struct {
+	a *Allocator
+	// static is the round-robin shard this handle uses when the
+	// toolchain offers no processor hint (proc.Dynamic == false).
+	static int
+	// subs are the lazily created inner router handles, one per shard
+	// this handle has operated from.
+	subs  []*multi.Handle
+	ops   uint64
+	stats alloc.Stats
+
+	wraps        uint64 // hints >= nshards, wrapped by modulo
+	pinFallbacks uint64 // ops routed via the static fallback
+}
+
+// sid resolves the shard for the current operation.
+func (h *Handle) sid() int {
+	if !proc.Dynamic {
+		h.pinFallbacks++
+		return h.static
+	}
+	p := proc.Hint()
+	if p >= h.a.nshards {
+		// GOMAXPROCS grew past the shard count: fold the extra Ps onto
+		// the existing shards rather than leave them uncached.
+		h.wraps++
+		p %= h.a.nshards
+	}
+	return p
+}
+
+// sub returns the inner router handle for shard sid, creating it with an
+// affine preference (shard s prefers instance slot s) on first use.
+func (h *Handle) sub(sid int) *multi.Handle {
+	for sid >= len(h.subs) {
+		h.subs = append(h.subs, nil)
+	}
+	if h.subs[sid] == nil {
+		h.subs[sid] = h.a.router.NewHandlePreferring(sid % h.a.router.Slots())
+	}
+	return h.subs[sid]
+}
+
+// maintain periodically re-asserts affinity: router fallback moves a
+// sub-handle's preference to whatever slot served last, and without the
+// reset a single capacity excursion would misroute the shard forever.
+func (h *Handle) maintain(sid int) {
+	h.ops++
+	if h.ops%rehomeEvery == 0 && sid < len(h.subs) && h.subs[sid] != nil {
+		h.subs[sid].Rehome(sid % h.a.router.Slots())
+	}
+}
+
+// Alloc implements alloc.Handle: cache pop on the current shard, then
+// the affine tree path, then a full cache reclaim and one retry.
+func (h *Handle) Alloc(size uint64) (uint64, bool) {
+	a := h.a
+	if size > a.geo.MaxSize {
+		h.stats.AllocFails++
+		return 0, false
+	}
+	sid := h.sid()
+	h.maintain(sid)
+	cls := a.classOf(size)
+	st := a.shards[sid]
+	if off, ok := st.popCached(cls); ok {
+		h.stats.Allocs++
+		return off, true
+	}
+	sub := h.sub(sid)
+	off, ok := sub.Alloc(size)
+	if !ok {
+		// The trees may be out of space only because other shards hoard
+		// parked chunks; flush every cache and stash down and retry once.
+		a.reclaim(sub)
+		off, ok = sub.Alloc(size)
+	}
+	if ok {
+		h.stats.Allocs++
+		return off, true
+	}
+	h.stats.AllocFails++
+	return 0, false
+}
+
+// Free implements alloc.Handle. The offset is validated and classified
+// through the routing metadata first — a foreign or already-freed offset
+// panics here, at the call. A chunk owned by the current shard parks in
+// its bins; anything else is pushed onto the owner's inbound stash so it
+// flows home without touching the owner's hot bins.
+func (h *Handle) Free(offset uint64) {
+	a := h.a
+	reserved := a.sizer.ChunkSize(offset)
+	cls := a.classOf(reserved)
+	sid := h.sid()
+	h.maintain(sid)
+	owner := a.ownerOf(offset)
+	if owner == sid {
+		if spill := a.shards[sid].pushCached(cls, offset); spill != nil {
+			h.sub(sid).FreeBatch(spill)
+		}
+	} else {
+		if over := a.shards[owner].pushInbound(cls, offset); over != nil {
+			// Stash overflow: the pusher drains the whole stash to the
+			// trees itself (the orphaned-owner liveness valve).
+			h.sub(sid).FreeBatch(over)
+		}
+	}
+	h.stats.Frees++
+}
+
+// AllocBatch implements alloc.BatchHandle as a pass-through to the
+// affine inner handle: bulk callers want the back-end's batched level
+// scan, not per-chunk cache pops.
+func (h *Handle) AllocBatch(size uint64, n int) []uint64 {
+	if size > h.a.geo.MaxSize {
+		h.stats.AllocFails++
+		return nil
+	}
+	sid := h.sid()
+	h.maintain(sid)
+	out := h.sub(sid).AllocBatch(size, n)
+	h.stats.Allocs += uint64(len(out))
+	if len(out) == 0 && n > 0 {
+		h.stats.AllocFails++
+	}
+	return out
+}
+
+// FreeBatch implements alloc.BatchHandle as a strict pass-through (bulk
+// frees skip the caches, like the convenience path).
+func (h *Handle) FreeBatch(offsets []uint64) {
+	if len(offsets) == 0 {
+		return
+	}
+	sid := h.sid()
+	h.maintain(sid)
+	h.sub(sid).FreeBatch(offsets)
+	h.stats.Frees += uint64(len(offsets))
+}
+
+// Stats implements alloc.Handle.
+func (h *Handle) Stats() *alloc.Stats { return &h.stats }
+
+// popCached pops a cached chunk of the class, merging this shard's
+// inbound stash into the bins first when the bin is dry and remote frees
+// are waiting. One lock round-trip on the hit path.
+func (st *shardState) popCached(cls int) (uint64, bool) {
+	st.mu.Lock()
+	bin := st.bins[cls]
+	if len(bin) == 0 && st.inCount.Load() > 0 {
+		st.mergeInbound()
+		bin = st.bins[cls]
+	}
+	if n := len(bin); n > 0 {
+		off := bin[n-1]
+		st.bins[cls] = bin[:n-1]
+		st.cached--
+		st.mu.Unlock()
+		st.hits.Add(1)
+		return off, true
+	}
+	st.mu.Unlock()
+	st.misses.Add(1)
+	return 0, false
+}
+
+// mergeInbound splices the inbound stash into the cache bins (chunks
+// flowing home). Caller holds st.mu; lock order is mu -> inMu.
+func (st *shardState) mergeInbound() {
+	st.inMu.Lock()
+	moved := 0
+	for cls, in := range st.inbound {
+		if len(in) == 0 {
+			continue
+		}
+		st.bins[cls] = append(st.bins[cls], in...)
+		moved += len(in)
+		st.inbound[cls] = in[:0]
+	}
+	if moved > 0 {
+		st.inCount.Add(int64(-moved))
+		st.cached += moved
+		st.stashDrains.Add(1)
+	}
+	st.inMu.Unlock()
+}
+
+// pushCached parks a locally freed chunk in the shard's bin. When the
+// bin is full it extracts the older half as a spill batch for the caller
+// to free outside the lock.
+func (st *shardState) pushCached(cls int, off uint64) []uint64 {
+	st.mu.Lock()
+	bin := st.bins[cls]
+	if len(bin) >= binCap {
+		spill := len(bin) / 2
+		out := append([]uint64(nil), bin[:spill]...)
+		rest := append(bin[:0], bin[spill:]...)
+		st.bins[cls] = append(rest, off)
+		st.cached -= spill - 1
+		st.mu.Unlock()
+		st.localFrees.Add(1)
+		st.flushed.Add(uint64(spill))
+		return out
+	}
+	st.bins[cls] = append(bin, off)
+	st.cached++
+	st.mu.Unlock()
+	st.localFrees.Add(1)
+	return nil
+}
+
+// pushInbound pushes a remotely freed chunk onto this (owner) shard's
+// stash. When the stash is at capacity the whole stash plus the new
+// chunk comes back as a batch for the pusher to free to the trees.
+func (st *shardState) pushInbound(cls int, off uint64) []uint64 {
+	st.inMu.Lock()
+	st.remoteFrees.Add(1)
+	if int(st.inCount.Load()) >= stashCap {
+		out := st.takeInboundLocked()
+		out = append(out, off)
+		st.stashDrains.Add(1)
+		st.flushed.Add(uint64(len(out)))
+		st.inMu.Unlock()
+		return out
+	}
+	st.inbound[cls] = append(st.inbound[cls], off)
+	st.inCount.Add(1)
+	st.inMu.Unlock()
+	return nil
+}
+
+// takeInboundLocked extracts the whole stash; caller holds st.inMu and
+// owns the counter updates.
+func (st *shardState) takeInboundLocked() []uint64 {
+	var out []uint64
+	for cls, in := range st.inbound {
+		out = append(out, in...)
+		st.inbound[cls] = in[:0]
+	}
+	st.inCount.Store(0)
+	return out
+}
+
+// takeRange extracts every parked chunk with offset in [lo, hi) from the
+// bins and the stash, for DrainRange / reclaim / Scrub.
+func (st *shardState) takeRange(lo, hi uint64) []uint64 {
+	var out []uint64
+	st.mu.Lock()
+	for cls, bin := range st.bins {
+		kept := bin[:0]
+		for _, off := range bin {
+			if off >= lo && off < hi {
+				out = append(out, off)
+			} else {
+				kept = append(kept, off)
+			}
+		}
+		st.bins[cls] = kept
+	}
+	st.cached -= len(out)
+	fromBins := len(out)
+	st.inMu.Lock()
+	moved := 0
+	for cls, in := range st.inbound {
+		kept := in[:0]
+		for _, off := range in {
+			if off >= lo && off < hi {
+				out = append(out, off)
+				moved++
+			} else {
+				kept = append(kept, off)
+			}
+		}
+		st.inbound[cls] = kept
+	}
+	if moved > 0 {
+		st.inCount.Add(int64(-moved))
+	}
+	st.inMu.Unlock()
+	st.mu.Unlock()
+	if len(out) > 0 {
+		if moved > 0 || fromBins > 0 {
+			st.stashDrains.Add(1)
+		}
+		st.flushed.Add(uint64(len(out)))
+	}
+	return out
+}

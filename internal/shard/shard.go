@@ -1,0 +1,439 @@
+// Package shard is the per-CPU sharded routing layer of the allocator
+// stack: the locality optimization the paper's Figure 12 pinning
+// experiment motivates, applied the way the Linux page allocator applies
+// it with its per-CPU pagesets.
+//
+// The layer keys every handle operation to one of N shards (N =
+// GOMAXPROCS at construction) by a cheap processor hint (internal/proc),
+// and gives each shard two pieces of CPU-local state:
+//
+//   - an affine routing preference: shard s allocates through an inner
+//     router handle preferring instance slot s, so a shard's tree walks
+//     stay on "its" instance (and, over a NUMA-placed mapped region, on
+//     its node) unless that instance cannot serve;
+//   - a per-CPU chunk cache, bins of recently freed chunks per size
+//     class. A local free parks the chunk in the current shard's bin; a
+//     later allocation of the class pops it back out without touching
+//     the tree at all — the pcp-list discipline that removes the
+//     reserve/climb RMW traffic from the steady-state hot path.
+//
+// Frees of chunks owned by another shard (offset routes to an instance
+// of a different shard) do not touch that shard's cache directly:
+// they are pushed onto the owner's inbound stash, a small
+// mutex-protected mailbox, and the owner merges the stash into its bins
+// the next time it allocates — so chunks flow home to their instance,
+// remote freers never contend on an owner's hot bins, and the
+// cross-shard traffic on the common path is one short mailbox push.
+// Stash and cache overflows, allocation failures, elastic drains and
+// Scrub all flush parked chunks back to the trees in batches through the
+// PR 2 bulk contract, which keeps the layer transparent: every chunk the
+// cache holds is still "allocated" to the trees below, so the elastic
+// live accounting and the retire fences of DESIGN.md are untouched — a
+// parked chunk simply keeps its slot's live count raised until a drain
+// runs, and the drain hooks provide the liveness (see DESIGN.md,
+// "Per-CPU sharding and NUMA placement").
+//
+// Deferred-misuse caveat: handle frees validate the offset against the
+// routing metadata at the call (freeing a foreign or already-freed
+// offset panics there), but a double free whose first free is still
+// parked in a cache or stash is only caught when the drain reaches the
+// trees. The allocator-level convenience Free therefore bypasses the
+// caches entirely and releases straight to the trees, preserving the
+// strict contract semantics on the path the conformance suite probes.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+	"repro/internal/geometry"
+	"repro/internal/multi"
+)
+
+const (
+	// binCap bounds the chunks one shard caches per size class; a free
+	// overflowing it spills the older half of the bin to the trees as one
+	// batch (the frontend magazine spill discipline, per CPU).
+	binCap = 1024
+	// stashCap bounds a shard's inbound remote-free stash across all
+	// classes. A pusher that finds the stash full drains the whole stash
+	// to the trees itself — the liveness valve for owner shards that lost
+	// their P (GOMAXPROCS shrank) and will never merge.
+	stashCap = 1024
+	// rehomeEvery is the handle-op period for re-asserting inner-handle
+	// affinity: round-robin fallback drags an inner handle's preference
+	// to whatever instance served last, and the periodic Rehome undoes
+	// the drag once the excursion is over.
+	rehomeEvery = 512
+)
+
+// shardState is one shard's CPU-local state. The cache bins are guarded
+// by mu (taken by the owning CPU, effectively uncontended); the inbound
+// stash by inMu (taken by remote freers and by the owner's merge). Lock
+// order is mu before inMu, and no tree operation runs under either.
+type shardState struct {
+	mu     sync.Mutex
+	bins   [][]uint64 // per size class, cached (parked-free) offsets
+	cached int        // total chunks across bins
+
+	inMu    sync.Mutex
+	inbound [][]uint64 // per size class, remote-freed offsets headed home
+	inCount atomic.Int64
+
+	hits        atomic.Uint64 // allocations served from the cache
+	misses      atomic.Uint64 // allocations that went to the trees
+	localFrees  atomic.Uint64 // frees parked in the own shard's bins
+	remoteFrees atomic.Uint64 // frees pushed onto this shard's stash by others
+	stashDrains atomic.Uint64 // stash drain events (merges and flushes)
+	flushed     atomic.Uint64 // chunks returned to the trees from bins/stash
+
+	_ [64]byte
+}
+
+// Allocator is the per-CPU sharded routing layer over a multi-instance
+// stack (the router itself, or the elastic manager above it). It is a
+// full citizen of the composable layer contract.
+type Allocator struct {
+	inner   alloc.Allocator
+	router  *multi.Multi
+	sizer   alloc.ChunkSizer
+	geo     geometry.Geometry
+	classes int
+	nshards int
+	shards  []*shardState
+
+	mu         sync.Mutex
+	handles    []*Handle
+	convFree   []*Handle
+	convStats  alloc.Stats
+	nextStatic int
+}
+
+// New wraps inner (which must contain a multi router somewhere below,
+// found via Unwrap) with shards per-CPU shards; shards <= 0 takes
+// GOMAXPROCS at call time.
+func New(inner alloc.Allocator, shards int) (*Allocator, error) {
+	router := findRouter(inner)
+	if router == nil {
+		return nil, fmt.Errorf("shard: no multi router below %s", inner.Name())
+	}
+	sizer, ok := inner.(alloc.ChunkSizer)
+	if !ok {
+		return nil, fmt.Errorf("shard: inner %s cannot report chunk sizes", inner.Name())
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	geo := inner.Geometry()
+	a := &Allocator{
+		inner:   inner,
+		router:  router,
+		sizer:   sizer,
+		geo:     geo,
+		classes: geo.Depth - geo.MaxLevel + 1,
+		nshards: shards,
+	}
+	a.shards = make([]*shardState, shards)
+	for i := range a.shards {
+		a.shards[i] = &shardState{
+			bins:    make([][]uint64, a.classes),
+			inbound: make([][]uint64, a.classes),
+		}
+	}
+	return a, nil
+}
+
+// findRouter walks Unwrap down to the multi router.
+func findRouter(a alloc.Allocator) *multi.Multi {
+	for {
+		if m, ok := a.(*multi.Multi); ok {
+			return m
+		}
+		u, ok := a.(interface{ Unwrap() alloc.Allocator })
+		if !ok {
+			return nil
+		}
+		a = u.Unwrap()
+	}
+}
+
+// Shards returns the shard count.
+func (a *Allocator) Shards() int { return a.nshards }
+
+// classOf maps a request (or reserved) size to its cache bin.
+func (a *Allocator) classOf(size uint64) int {
+	return a.geo.LevelForSize(size) - a.geo.MaxLevel
+}
+
+// ownerOf maps a global offset to the shard whose instance owns it.
+func (a *Allocator) ownerOf(offset uint64) int {
+	return a.router.InstanceOf(offset) % a.nshards
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string {
+	return fmt.Sprintf("shard[%d]+%s", a.nshards, a.inner.Name())
+}
+
+// Geometry implements alloc.Allocator (per-instance geometry, like the
+// router).
+func (a *Allocator) Geometry() geometry.Geometry { return a.geo }
+
+// OffsetSpan implements alloc.Spanner by forwarding the wrapped stack's
+// offset space.
+func (a *Allocator) OffsetSpan() uint64 { return alloc.SpanOf(a.inner) }
+
+// Unwrap exposes the wrapped stack to generic walkers.
+func (a *Allocator) Unwrap() alloc.Allocator { return a.inner }
+
+// ChunkSize implements alloc.ChunkSizer by forwarding: the shard layer
+// never changes chunk placement, only who is holding a parked-free chunk.
+func (a *Allocator) ChunkSize(offset uint64) uint64 { return a.sizer.ChunkSize(offset) }
+
+// Alloc implements alloc.Allocator through a recycled per-shard handle
+// (the multi conv-pool discipline: pooling keeps the permanent handle
+// registrations bounded by the convenience path's peak concurrency).
+func (a *Allocator) Alloc(size uint64) (uint64, bool) {
+	h := a.getConv()
+	off, ok := h.Alloc(size)
+	a.putConv(h)
+	return off, ok
+}
+
+// Free implements alloc.Allocator by releasing straight to the trees,
+// bypassing the per-CPU caches: the convenience contract specifies that
+// freeing a bad offset panics at the call, which a deferred stash free
+// could not honour. Handle frees are the hot path and do cache.
+func (a *Allocator) Free(offset uint64) {
+	a.inner.Free(offset)
+	a.mu.Lock()
+	a.convStats.Frees++
+	a.mu.Unlock()
+}
+
+// AllocBatch implements alloc.BatchAllocator as a pass-through: bulk
+// callers want the back-end's batched level scan, not per-chunk cache
+// pops (the frontend's batch rationale).
+func (a *Allocator) AllocBatch(size uint64, n int) []uint64 {
+	out := alloc.AllocBatchOf(a.inner, size, n)
+	a.mu.Lock()
+	a.convStats.Allocs += uint64(len(out))
+	if len(out) == 0 && n > 0 {
+		a.convStats.AllocFails++
+	}
+	a.mu.Unlock()
+	return out
+}
+
+// FreeBatch implements alloc.BatchAllocator (pass-through, strict
+// semantics like Free).
+func (a *Allocator) FreeBatch(offsets []uint64) {
+	alloc.FreeBatchOf(a.inner, offsets)
+	a.mu.Lock()
+	a.convStats.Frees += uint64(len(offsets))
+	a.mu.Unlock()
+}
+
+// getConv pops an idle convenience handle.
+func (a *Allocator) getConv() *Handle {
+	a.mu.Lock()
+	if n := len(a.convFree); n > 0 {
+		h := a.convFree[n-1]
+		a.convFree = a.convFree[:n-1]
+		a.mu.Unlock()
+		return h
+	}
+	a.mu.Unlock()
+	return a.newHandle()
+}
+
+func (a *Allocator) putConv(h *Handle) {
+	a.mu.Lock()
+	a.convFree = append(a.convFree, h)
+	a.mu.Unlock()
+}
+
+// NewHandle implements alloc.Allocator. Handles register permanently
+// (the stack's monotonic-registry caveat); each lazily creates one inner
+// router handle per shard it operates from.
+func (a *Allocator) NewHandle() alloc.Handle { return a.newHandle() }
+
+func (a *Allocator) newHandle() *Handle {
+	h := &Handle{a: a}
+	a.mu.Lock()
+	h.static = a.nextStatic % a.nshards
+	a.nextStatic++
+	a.handles = append(a.handles, h)
+	a.mu.Unlock()
+	return h
+}
+
+// Stats implements alloc.Allocator: this layer's view of the traffic
+// (cache hits included), aggregated across handles and the convenience
+// path. Quiescent points only.
+func (a *Allocator) Stats() alloc.Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	total := a.convStats
+	for _, h := range a.handles {
+		total.Add(h.stats)
+	}
+	return total
+}
+
+// Scrub implements alloc.Scrubber: every shard's cache and stash is
+// flushed down first (parked chunks are semantically free, and leaf
+// scrubbing rebuilds metadata from the live index), then Scrub forwards
+// inward. Quiescent points only, like every Scrub.
+func (a *Allocator) Scrub() {
+	a.drain(0, ^uint64(0))
+	if s, ok := a.inner.(alloc.Scrubber); ok {
+		s.Scrub()
+	}
+}
+
+// DrainRange flushes every parked chunk of the global offset window
+// [lo, hi) back to the trees — the elastic manager's drain hook: without
+// it, chunks idling in a shard cache would pin a draining instance's
+// live count above zero forever. Unlike Scrub this is safe concurrently
+// with traffic: the shard structures are locked and the frees go down
+// the thread-safe batched convenience path.
+func (a *Allocator) DrainRange(lo, hi uint64) { a.drain(lo, hi) }
+
+func (a *Allocator) drain(lo, hi uint64) {
+	for _, st := range a.shards {
+		if batch := st.takeRange(lo, hi); len(batch) > 0 {
+			alloc.FreeBatchOf(a.inner, batch)
+		}
+	}
+}
+
+// reclaim flushes everything through the calling handle's sub-handle
+// (cheaper batch path) — the capacity valve when a tree allocation
+// fails while other shards hoard parked chunks.
+func (a *Allocator) reclaim(sub *multi.Handle) {
+	for _, st := range a.shards {
+		if batch := st.takeRange(0, ^uint64(0)); len(batch) > 0 {
+			sub.FreeBatch(batch)
+		}
+	}
+}
+
+// Totals is the aggregated shard-layer accounting; quiescent points only.
+type Totals struct {
+	Shards int
+	// Hits are allocations served from a shard cache without touching
+	// the trees; Misses went through to the trees.
+	Hits, Misses uint64
+	// LocalFrees parked a chunk in the freeing CPU's own bins;
+	// RemoteFrees pushed one onto the owning shard's inbound stash.
+	LocalFrees, RemoteFrees uint64
+	// StashDrains counts stash drain events (owner merges and overflow
+	// flushes); Flushed counts chunks returned to the trees from bins and
+	// stashes (spills, reclaims, DrainRange, Scrub).
+	StashDrains, Flushed uint64
+	// CachedNow/StashedNow are the chunks currently parked (0 after
+	// Scrub).
+	CachedNow, StashedNow int
+	// PinWraps counts operations whose processor hint exceeded the shard
+	// count (GOMAXPROCS raised after construction); PinFallbacks counts
+	// operations routed by the static fallback (non-gc toolchains).
+	PinWraps, PinFallbacks uint64
+}
+
+// Totals aggregates the shard counters; quiescent points only.
+func (a *Allocator) Totals() Totals {
+	t := Totals{Shards: a.nshards}
+	for _, st := range a.shards {
+		t.Hits += st.hits.Load()
+		t.Misses += st.misses.Load()
+		t.LocalFrees += st.localFrees.Load()
+		t.RemoteFrees += st.remoteFrees.Load()
+		t.StashDrains += st.stashDrains.Load()
+		t.Flushed += st.flushed.Load()
+		st.mu.Lock()
+		t.CachedNow += st.cached
+		st.mu.Unlock()
+		t.StashedNow += int(st.inCount.Load())
+	}
+	a.mu.Lock()
+	for _, h := range a.handles {
+		t.PinWraps += h.wraps
+		t.PinFallbacks += h.pinFallbacks
+	}
+	a.mu.Unlock()
+	return t
+}
+
+// ShardInfo is one shard's counter snapshot (for nbbsinfo -shard).
+type ShardInfo struct {
+	Shard                   int
+	Hits, Misses            uint64
+	LocalFrees, RemoteFrees uint64
+	StashDrains, Flushed    uint64
+	CachedNow, StashedNow   int
+}
+
+// ShardInfos returns a per-shard counter snapshot; quiescent points only.
+func (a *Allocator) ShardInfos() []ShardInfo {
+	out := make([]ShardInfo, a.nshards)
+	for i, st := range a.shards {
+		st.mu.Lock()
+		cached := st.cached
+		st.mu.Unlock()
+		out[i] = ShardInfo{
+			Shard:       i,
+			Hits:        st.hits.Load(),
+			Misses:      st.misses.Load(),
+			LocalFrees:  st.localFrees.Load(),
+			RemoteFrees: st.remoteFrees.Load(),
+			StashDrains: st.stashDrains.Load(),
+			Flushed:     st.flushed.Load(),
+			CachedNow:   cached,
+			StashedNow:  int(st.inCount.Load()),
+		}
+	}
+	return out
+}
+
+// LayerStats implements alloc.LayerStatser: the shard layer's entry with
+// the shard_* counters, then the wrapped stack's entries.
+func (a *Allocator) LayerStats() []alloc.LayerStats {
+	t := a.Totals()
+	entry := alloc.LayerStats{
+		Layer: fmt.Sprintf("shard[%d]", a.nshards),
+		Stats: a.Stats(),
+		Extra: map[string]uint64{
+			"shards":             uint64(t.Shards),
+			"shard_hits":         t.Hits,
+			"shard_misses":       t.Misses,
+			"shard_local_frees":  t.LocalFrees,
+			"shard_remote_frees": t.RemoteFrees,
+			"shard_stash_drains": t.StashDrains,
+			"shard_flushed":      t.Flushed,
+			"shard_cached":       uint64(t.CachedNow),
+			"shard_stashed":      uint64(t.StashedNow),
+			"shard_pin_wraps":    t.PinWraps,
+			"shard_pin_fallback": t.PinFallbacks,
+		},
+	}
+	return append([]alloc.LayerStats{entry}, alloc.StackStats(a.inner)...)
+}
+
+// Find walks a stack down to its shard layer (nil when absent).
+func Find(a alloc.Allocator) *Allocator {
+	for a != nil {
+		if sh, ok := a.(*Allocator); ok {
+			return sh
+		}
+		u, ok := a.(interface{ Unwrap() alloc.Allocator })
+		if !ok {
+			return nil
+		}
+		a = u.Unwrap()
+	}
+	return nil
+}

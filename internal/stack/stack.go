@@ -9,7 +9,8 @@
 // alloc.LayerStatser), so the layers stack in any order; Build fixes the
 // canonical production order the paper's conclusions call for:
 //
-//	leaf variant(s) -> multi router -> caching front-end -> trace -> arena
+//	leaf variant(s) -> multi router -> elastic manager -> per-CPU shards
+//	                -> caching front-end -> trace -> arena
 //
 // Common compositions are also registered as allocator variants
 // ("cached+4lvl-nb", "multi4+4lvl-nb", "cached+multi4+4lvl-nb", and the
@@ -30,6 +31,8 @@ import (
 	"repro/internal/frontend"
 	"repro/internal/mem"
 	"repro/internal/multi"
+	"repro/internal/proc"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
@@ -53,6 +56,16 @@ type Spec struct {
 	// Instances >= 1 and excludes Materialize (a materialized region
 	// cannot follow a growing offset span).
 	Elastic *elastic.Config
+	// Sharded inserts the per-CPU sharded routing layer above the router
+	// (and the elastic manager, when present): handles key to Shards
+	// processor-hinted shards, each with an affine router preference, a
+	// local chunk cache and an inbound remote-free stash (internal/shard).
+	// Requires Instances >= 1. Shards <= 0 takes GOMAXPROCS at build time.
+	// Combined with Mapped, the backing region is additionally built
+	// WithNUMAPolicy so each instance window commits onto the NUMA node of
+	// the CPU its shard runs on.
+	Sharded bool
+	Shards  int
 	// Cached inserts the caching front-end; Magazine is the per-class
 	// capacity (0 = frontend.DefaultMagazine).
 	Cached   bool
@@ -101,6 +114,8 @@ type Stack struct {
 	Multi *multi.Multi
 	// Elastic is the capacity manager (nil when Spec.Elastic was nil).
 	Elastic *elastic.Manager
+	// Shard is the per-CPU sharded routing layer (nil when not Sharded).
+	Shard *shard.Allocator
 	// Frontend is the caching layer (nil when not Cached).
 	Frontend *frontend.Allocator
 	// Trace is the recording layer (nil when Record was nil).
@@ -148,6 +163,9 @@ func Build(s Spec) (*Stack, error) {
 	if s.Mapped && s.Instances < 1 {
 		return nil, fmt.Errorf("stack: mapped memory requires the multi router (Instances >= 1); a fixed single-instance stack wants Materialize")
 	}
+	if s.Sharded && s.Instances < 1 {
+		return nil, fmt.Errorf("stack: sharding requires the multi router (Instances >= 1)")
+	}
 	if s.Instances >= 1 {
 		m, err := multi.New(s.Variant, s.Instances, s.Per, s.Policy)
 		if err != nil {
@@ -157,6 +175,11 @@ func Build(s Spec) (*Stack, error) {
 			var opts []mem.Option
 			if s.HugePages {
 				opts = append(opts, mem.WithHugePages())
+			}
+			if s.Sharded {
+				// Sharded stacks place each window on the node of the CPU
+				// whose shard allocates from it (portable no-op elsewhere).
+				opts = append(opts, mem.WithNUMAPolicy())
 			}
 			r, err := mem.New(m.InstanceSpan(), m.Slots(), opts...)
 			if err != nil {
@@ -189,6 +212,21 @@ func Build(s Spec) (*Stack, error) {
 		}
 		st.Elastic = mgr
 		st.Top = mgr
+	}
+	if s.Sharded {
+		sh, err := shard.New(st.Top, s.Shards)
+		if err != nil {
+			return nil, err
+		}
+		st.Shard = sh
+		st.Top = sh
+		if st.Elastic != nil {
+			// Retirement cooperation: chunks parked in a shard cache hold
+			// their slot's live count above zero, so a draining slot needs
+			// the shard layer flushed for its window — same contract as the
+			// depot hook below.
+			st.Elastic.OnDrainRange(sh.DrainRange)
+		}
 	}
 	if s.Cached || s.Depot {
 		var feOpts []frontend.Option
@@ -332,6 +370,25 @@ func init() {
 		n := registryInstances(4, cfg)
 		ec := &elastic.Config{MinInstances: 1, MaxInstances: 2 * n}
 		st, err := Build(Spec{Variant: "4lvl-nb", Per: perConfig(cfg, n), Instances: n, Elastic: ec, Mapped: true})
+		if err != nil {
+			return nil, err
+		}
+		return st.Top, nil
+	})
+	// Sharded composite: the full PR 6 stack — per-CPU sharded routing
+	// with NUMA-aware mapped placement over the elastic manager. The
+	// instance target tracks GOMAXPROCS (rounded up to a power of two, at
+	// least 4) so each shard can have an affine instance; the usual
+	// halving rule still applies when the global span is small.
+	alloc.Register("shard+mapped+elastic+multi+4lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
+		want := 4
+		for want < proc.MaxHint() && want < 64 {
+			want *= 2
+		}
+		n := registryInstances(want, cfg)
+		ec := &elastic.Config{MinInstances: 1, MaxInstances: 2 * n}
+		st, err := Build(Spec{Variant: "4lvl-nb", Per: perConfig(cfg, n), Instances: n,
+			Elastic: ec, Mapped: true, Sharded: true})
 		if err != nil {
 			return nil, err
 		}

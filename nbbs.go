@@ -56,6 +56,7 @@ import (
 	"repro/internal/geometry"
 	"repro/internal/mem"
 	"repro/internal/multi"
+	"repro/internal/shard"
 	"repro/internal/stack"
 	"repro/internal/trace"
 
@@ -149,6 +150,8 @@ type options struct {
 	materialize bool
 	mapped      bool
 	hugePages   bool
+	sharded     bool
+	shards      int
 }
 
 // WithVariant selects the allocator implementation (default Variant4Lvl).
@@ -212,6 +215,31 @@ func WithMappedMemory() Option {
 // internal/mem's alignment rule). Only meaningful with WithMappedMemory.
 func WithHugePages() Option { return func(o *options) { o.hugePages = true } }
 
+// WithSharding layers per-CPU sharded routing over the router (implying
+// WithInstances(1) when no instance count was set): every handle
+// operation keys to one of n shards by a cheap processor hint, and each
+// shard gets an affine router preference, a local cache of recently
+// freed chunks, and an inbound stash that remote frees are pushed
+// through — so the steady-state alloc/free path stays on CPU-local
+// state and the trees see only cache misses and batched drains
+// (internal/shard). n <= 0 takes GOMAXPROCS at build time. Combined
+// with WithMappedMemory on Linux, each instance window is additionally
+// committed onto the NUMA node of the CPU its shard runs on
+// (first-touch under an mbind preferred policy; a bookkeeping-only
+// no-op on other platforms and single-node machines). Shard counters
+// surface in LayerStats as shard_hits / shard_misses /
+// shard_remote_frees / shard_stash_drains and friends, and through
+// Buddy.Sharded().
+func WithSharding(n int) Option {
+	return func(o *options) {
+		o.sharded = true
+		o.shards = n
+		if o.instances < 1 {
+			o.instances = 1
+		}
+	}
+}
+
 // WithFrontend layers per-worker caching magazines over the back-end:
 // every NewHandle becomes a caching handle with the given per-size-class
 // magazine capacity (0 = default). Frees park chunks in magazines served
@@ -264,6 +292,8 @@ func build(cfg Config, o options) (*Buddy, error) {
 		Materialize:   o.materialize,
 		Mapped:        o.mapped,
 		HugePages:     o.hugePages,
+		Sharded:       o.sharded,
+		Shards:        o.shards,
 	})
 	if err != nil {
 		return nil, err
@@ -426,6 +456,14 @@ func (b *Buddy) Multi() *Multi { return b.st.Multi }
 // lifecycle state.
 func (b *Buddy) Elastic() *ElasticManager { return b.st.Elastic }
 
+// ShardRouter is the per-CPU sharded routing layer; see Buddy.Sharded.
+type ShardRouter = shard.Allocator
+
+// Sharded exposes the per-CPU sharded routing layer (nil unless built
+// WithSharding) — aggregate counters via Totals, per-shard snapshots via
+// ShardInfos. Quiescent points only.
+func (b *Buddy) Sharded() *ShardRouter { return b.st.Shard }
+
 // MemStats is the mapped backing region's commit accounting; see
 // Buddy.MemStats.
 type MemStats = mem.Stats
@@ -440,6 +478,22 @@ func (b *Buddy) Mapped() bool { return b.st.Mem != nil }
 // really maps and unmaps pages (Linux — decommits return RSS to the OS)
 // or runs the portable bookkeeping fallback.
 func MappedBacking() bool { return mem.Mapped() }
+
+// NUMABacking reports whether NUMA placement is physically effective
+// here: Linux with the mbind/get_mempolicy syscalls and more than one
+// online node. When false, WithSharding stacks still record per-window
+// node assignments (see MemRegion.NodeMap) but no binding is issued.
+func NUMABacking() bool { return mem.NUMAAware() && len(mem.NUMANodes()) > 1 }
+
+// NUMANodes returns the online NUMA node ids ([0] on single-node
+// machines and non-Linux platforms).
+func NUMANodes() []int { return mem.NUMANodes() }
+
+// NodeOfWindow asks the kernel which NUMA node physically backs the
+// first page of the region's window k (the window must be committed);
+// ok is false where the kernel cannot answer (non-Linux platforms).
+// Compare against MemRegion.NodeMap to verify placement.
+func NodeOfWindow(r *MemRegion, k int) (int, bool) { return mem.NodeOfAddr(r.Window(k)) }
 
 // Memory exposes the mapped backing region (nil unless built
 // WithMappedMemory) — per-window commit states via CommitMap, lifecycle

@@ -532,3 +532,60 @@ func TestMappedMemoryFacade(t *testing.T) {
 		t.Fatalf("commit map shows %d committed windows, want 1", committed)
 	}
 }
+
+func TestShardingFacade(t *testing.T) {
+	b, err := nbbs.New(cfg,
+		nbbs.WithInstances(2),
+		nbbs.WithElastic(nbbs.ElasticConfig{MinInstances: 1, MaxInstances: 4, Hysteresis: 1}),
+		nbbs.WithMappedMemory(),
+		nbbs.WithSharding(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := b.Sharded()
+	if sh == nil {
+		t.Fatal("stack does not report its shard layer")
+	}
+	if sh.Shards() != 2 {
+		t.Fatalf("Shards = %d, want 2", sh.Shards())
+	}
+	h := b.NewHandle()
+	off, ok := h.Alloc(256)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	h.Free(off)
+	got, ok := h.Alloc(256)
+	if !ok {
+		t.Fatal("recycle alloc failed")
+	}
+	if got != off {
+		t.Fatalf("shard cache did not recycle: %d != %d", got, off)
+	}
+	h.Free(got)
+	if tot := sh.Totals(); tot.Hits == 0 {
+		t.Fatalf("no cache hits recorded: %+v", tot)
+	}
+	// The shard layer reports itself in LayerStats, above the manager.
+	ls := b.LayerStats()
+	if len(ls) < 3 {
+		t.Fatalf("expected shard + elastic + router entries, got %d", len(ls))
+	}
+	if ls[0].Layer != "shard[2]" {
+		t.Fatalf("top layer %q, want shard[2]", ls[0].Layer)
+	}
+	// A chunk parked in a shard cache keeps its slot live; the elastic
+	// drain hook flushes it so retirement still completes.
+	off2, _ := h.Alloc(512)
+	h.Free(off2) // parked, not tree-freed
+	b.Elastic().Poll()
+	b.Elastic().Poll()
+	if n := b.Instances(); n != 1 {
+		t.Fatalf("Instances = %d after idle polls, want 1 (drain hook must flush shard caches)", n)
+	}
+	b.Scrub()
+	if tot := sh.Totals(); tot.CachedNow != 0 || tot.StashedNow != 0 {
+		t.Fatalf("Scrub left parked chunks: %+v", tot)
+	}
+}
