@@ -15,6 +15,7 @@
 //	nbbsinfo -total 16777216 -min 64 -max 65536 \
 //	    -instances 4 -cached -materialize -demo-ops 200000
 //	nbbsinfo -instances 4 -depot -demo-ops 200000   # depot_* layer counters
+//	nbbsinfo -instances 4 -depot -slab -demo-ops 200000  # per-class slab table
 //	nbbsinfo -instances 2 -elastic -elastic-max 4 -demo-ops 400000
 //	    # watermark config, per-instance utilization, lifecycle counters
 //	nbbsinfo -instances 2 -elastic -elastic-max 4 -mem -demo-ops 400000
@@ -44,6 +45,8 @@ func main() {
 		cached      = flag.Bool("cached", false, "layer the caching front-end over the back-end")
 		magazine    = flag.Int("magazine", 0, "front-end per-class magazine capacity (0 = default)")
 		depot       = flag.Bool("depot", false, "attach the shared magazine depot to the front-end (implies -cached)")
+		slabFlag    = flag.Bool("slab", false, "layer the size-class slab over the stack (prints the per-class run/occupancy table)")
+		slabCutoff  = flag.Uint64("slab-cutoff", 0, "largest slab class in bytes (0 = default, clamped to the geometry)")
 		materialize = flag.Bool("materialize", false, "back the offset space with real memory")
 		mapped      = flag.Bool("mem", false, "back instance windows with mapped memory following the slot lifecycle (prints the commit map)")
 		sharded     = flag.Bool("shard", false, "layer per-CPU sharded routing over the router (prints per-shard counters; with -mem, the window NUMA-node map)")
@@ -110,6 +113,8 @@ func main() {
 			cached:      *cached,
 			magazine:    *magazine,
 			depot:       *depot,
+			slab:        *slabFlag,
+			slabCutoff:  *slabCutoff,
 			materialize: *materialize,
 			mapped:      *mapped,
 			sharded:     *sharded,
@@ -130,6 +135,8 @@ type stackConfig struct {
 	cached      bool
 	magazine    int
 	depot       bool
+	slab        bool
+	slabCutoff  uint64
 	materialize bool
 	mapped      bool
 	sharded     bool
@@ -159,6 +166,9 @@ func demo(sc stackConfig) {
 	}
 	if sc.depot {
 		opts = append(opts, nbbs.WithDepot(0))
+	}
+	if sc.slab {
+		opts = append(opts, nbbs.WithSlab(sc.slabCutoff))
 	}
 	if sc.mapped {
 		opts = append(opts, nbbs.WithMappedMemory())
@@ -238,6 +248,14 @@ func demo(sc stackConfig) {
 
 	if mgr := b.Elastic(); mgr != nil {
 		mgr.Poll() // the stack is drained: complete any pending retires
+	}
+	if sl := b.Slab(); sl != nil {
+		fmt.Printf("\nsize-class slab: cutoff=%d run=%d bytes, frag=%d bytes\n",
+			sl.Cutoff(), sl.RunBytes(), sl.FragBytes())
+		fmt.Printf("  %-10s %12s %8s %10s %10s\n", "class", "objs/run", "runs", "live", "free")
+		for _, ci := range sl.ClassInfos() {
+			fmt.Printf("  %-10d %12d %8d %10d %10d\n", ci.Size, ci.ObjsPerRun, ci.Runs, ci.Live, ci.Free)
+		}
 	}
 	if sh := b.Sharded(); sh != nil {
 		tot := sh.Totals()

@@ -48,6 +48,24 @@ type Handle interface {
 	Stats() *Stats
 }
 
+// HandleCloser is implemented by handles that can be released: Close
+// flushes any chunks the handle has parked (magazines, bins), folds its
+// counters into the allocator's retained totals so quiescent Stats keep
+// adding up, and removes the handle from the allocator's registry. After
+// Close the handle must not be used. Closing is optional — short-lived
+// benchmark workers may simply drop handles — but long-running
+// worker-churn deployments must Close to keep registries bounded.
+type HandleCloser interface{ Close() }
+
+// CloseHandle closes h when its layer supports closing, and is a no-op
+// otherwise. Layers forward it to the handles they wrap so a single call
+// releases a whole per-worker stack.
+func CloseHandle(h Handle) {
+	if c, ok := h.(HandleCloser); ok {
+		c.Close()
+	}
+}
+
 // ChunkSizer is implemented by allocators that can report the reserved
 // (power-of-two) size of a currently delivered chunk from their own
 // metadata. Front-end layers rely on it to classify frees without

@@ -8,6 +8,7 @@ import (
 	"repro/internal/elastic"
 	"repro/internal/multi"
 	"repro/internal/shard"
+	"repro/internal/slab"
 )
 
 // RunDifferential drives a long random operation sequence — single and
@@ -50,25 +51,61 @@ func differentialSequence(t *testing.T, a alloc.Allocator, seed int64, total, mi
 	t.Helper()
 	geo := a.Geometry()
 	mgr := elastic.Find(a)
+	sl := slab.Find(a)
 	rng := rand.New(rand.NewSource(seed))
 	h := a.NewHandle()
 
 	var live []oracleChunk
 	occupied := map[uint64]bool{} // allocation-unit slot -> taken
 
-	admit := func(step int, off, size uint64, how string) {
-		reserved := geo.SizeOfLevel(geo.LevelForSize(size))
-		// Re-read the span per admission: elastic grows widen it mid-run.
-		span := alloc.SpanOf(a)
-		if off%reserved != 0 || off+reserved > span {
-			t.Fatalf("seed %d step %d: %s(%d) -> [%d,%d) misaligned or outside the %d-byte span",
-				seed, step, how, size, off, off+reserved, span)
+	// sizeFor picks a request size for the single-alloc paths. Slab
+	// stacks take class-boundary and non-power-of-two sizes half the
+	// time — cutoff±1, the cutoff itself, arbitrary odd sizes — so run
+	// carving, the half-step classes and the pass-through boundary all
+	// get oracle coverage; other stacks keep the power-of-two ladder.
+	sizeFor := func() uint64 {
+		size := uint64(1) << (3 + rng.Intn(10)) // 8..4096
+		if sl != nil && sl.Cutoff() != 0 && rng.Intn(2) == 0 {
+			switch rng.Intn(4) {
+			case 0:
+				size = sl.Cutoff() - 1
+			case 1:
+				size = sl.Cutoff()
+			case 2:
+				size = sl.Cutoff() + 1
+			default:
+				size = 1 + uint64(rng.Int63n(int64(geo.MaxSize)))
+			}
 		}
+		return size
+	}
+
+	admit := func(step int, off, size uint64, how string) {
+		// The buddy reserves the geometry's power-of-two rounding; a slab
+		// layer reserves the size class instead — unless its runs were
+		// exhausted and the request fell through to the buddy, so both
+		// answers are legitimate. ChunkSize must report whichever extent
+		// was actually reserved; class extents are only MinSize-aligned.
+		reserved := geo.SizeOfLevel(geo.LevelForSize(size))
+		align := reserved
 		if cs, ok := a.(alloc.ChunkSizer); ok {
-			if got := cs.ChunkSize(off); got != reserved {
+			got := cs.ChunkSize(off)
+			matched := got == reserved
+			if sl != nil && !matched {
+				if cls, slabbed := sl.ReservedFor(size); slabbed && got == cls {
+					reserved, align, matched = cls, minSize, true
+				}
+			}
+			if !matched {
 				t.Fatalf("seed %d step %d: ChunkSize(%#x) = %d, want reserved %d",
 					seed, step, off, got, reserved)
 			}
+		}
+		// Re-read the span per admission: elastic grows widen it mid-run.
+		span := alloc.SpanOf(a)
+		if off%align != 0 || off+reserved > span {
+			t.Fatalf("seed %d step %d: %s(%d) -> [%d,%d) misaligned or outside the %d-byte span",
+				seed, step, how, size, off, off+reserved, span)
 		}
 		for u := off / minSize; u < (off+reserved)/minSize; u++ {
 			if occupied[u] {
@@ -99,7 +136,7 @@ func differentialSequence(t *testing.T, a alloc.Allocator, seed int64, total, mi
 	for step := 0; step < steps; step++ {
 		switch op := rng.Intn(10); {
 		case op < 4: // single alloc through the handle
-			size := uint64(1) << (3 + rng.Intn(10)) // 8..4096
+			size := sizeFor()
 			if off, ok := h.Alloc(size); ok {
 				admit(step, off, size, "Alloc")
 			}
@@ -165,7 +202,7 @@ func differentialSequence(t *testing.T, a alloc.Allocator, seed int64, total, mi
 				}
 			}
 		default: // convenience-path alloc (bypasses magazines)
-			size := uint64(1) << (3 + rng.Intn(10))
+			size := sizeFor()
 			if off, ok := a.Alloc(size); ok {
 				admit(step, off, size, "conv Alloc")
 			}

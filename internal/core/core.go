@@ -55,6 +55,7 @@ type Allocator struct {
 
 	mu      sync.Mutex
 	handles []*Handle
+	closed  alloc.Stats // retained counters of closed handles
 	nextID  uint64
 	pool    sync.Pool
 }
@@ -163,7 +164,7 @@ func (a *Allocator) newHandle() *Handle {
 func (a *Allocator) Stats() alloc.Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	var total alloc.Stats
+	total := a.closed
 	for _, h := range a.handles {
 		total.Add(h.stats)
 	}
@@ -174,14 +175,45 @@ func (a *Allocator) Stats() alloc.Stats {
 // use). It carries the scattered scan start that spreads concurrent
 // same-level allocations over different nodes, and private counters.
 type Handle struct {
-	a     *Allocator
-	id    uint64
-	seq   uint64
-	stats alloc.Stats
+	a      *Allocator
+	id     uint64
+	seq    uint64
+	stats  alloc.Stats
+	closed bool
 }
 
 // Stats implements alloc.Handle.
 func (h *Handle) Stats() *alloc.Stats { return &h.stats }
+
+// Close implements alloc.HandleCloser: fold this handle's counters into
+// the allocator's retained totals and unregister it, so handle-churning
+// callers do not grow the registry without bound. The handle must not be
+// used afterwards.
+func (h *Handle) Close() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	a := h.a
+	a.mu.Lock()
+	for i, other := range a.handles {
+		if other == h {
+			a.handles[i] = a.handles[len(a.handles)-1]
+			a.handles = a.handles[:len(a.handles)-1]
+			break
+		}
+	}
+	a.closed.Add(h.stats)
+	a.mu.Unlock()
+}
+
+// Handles returns the number of registered (not yet closed) handles — a
+// diagnostic for the handle-leak regression tests.
+func (a *Allocator) Handles() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.handles)
+}
 
 // scatterSlot picks the slot within a level where this handle starts
 // scanning — the paper's "starting from scattered points" refinement.

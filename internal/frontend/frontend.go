@@ -28,6 +28,7 @@ package frontend
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/alloc"
 	"repro/internal/geometry"
@@ -49,9 +50,22 @@ type Allocator struct {
 	depot  *Depot
 	refill int
 
-	mu      sync.Mutex
-	handles []*Handle
-	conv    alloc.Stats // ops served by the pass-through convenience path
+	mu          sync.Mutex
+	handles     []*Handle
+	conv        alloc.Stats // ops served by the pass-through convenience path
+	closed      alloc.Stats // retained counters of closed handles
+	closedCache CacheStats
+
+	// Drain fence: DrainDepotRange records the retiring window, then bumps
+	// the epoch; handles compare epochs on their next operation and flush
+	// magazines overlapping a recorded window, so a draining instance's
+	// live count converges without waiting for an idle worker to churn or
+	// for a quiescent Scrub. Windows are never pruned — a stale window is
+	// harmless because magazines can never hold offsets of memory that was
+	// actually retired.
+	drainEpoch atomic.Uint64
+	drainMu    sync.Mutex
+	drainWins  map[uint64]uint64 // lo -> hi
 }
 
 // Option tunes the front-end beyond the magazine capacity.
@@ -92,7 +106,8 @@ func New(backend alloc.Allocator, magCap int, opts ...Option) (*Allocator, error
 	if magCap <= 0 {
 		magCap = DefaultMagazine
 	}
-	a := &Allocator{backend: backend, sizer: sizer, geo: backend.Geometry(), magCap: magCap}
+	a := &Allocator{backend: backend, sizer: sizer, geo: backend.Geometry(), magCap: magCap,
+		drainWins: make(map[uint64]uint64)}
 	a.refill = magCap / 2
 	if a.refill == 0 {
 		a.refill = 1
@@ -185,10 +200,19 @@ func (a *Allocator) Stats() alloc.Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	total := a.conv
+	total.Add(a.closed)
 	for _, h := range a.handles {
 		total.Add(h.stats)
 	}
 	return total
+}
+
+// Handles returns the number of registered (not yet closed) handles — a
+// diagnostic for the handle-leak regression tests.
+func (a *Allocator) Handles() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.handles)
 }
 
 // CacheTotals aggregates the magazine counters of every handle created so
@@ -196,7 +220,7 @@ func (a *Allocator) Stats() alloc.Stats {
 func (a *Allocator) CacheTotals() CacheStats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	var total CacheStats
+	total := a.closedCache
 	for _, h := range a.handles {
 		total.Hits += h.cache.Hits
 		total.Misses += h.cache.Misses
@@ -235,18 +259,40 @@ func (a *Allocator) Scrub() {
 // depot would pin a draining instance's live count above zero forever.
 // Unlike Scrub this is safe concurrently with traffic: the depot is
 // internally locked and the frees go down the thread-safe batched
-// convenience path. Per-worker handle magazines are NOT touched (they are
-// single-owner state); chunks cached there keep a drain pending until the
-// worker churns or flushes them.
+// convenience path.
+//
+// Per-worker handle magazines are single-owner state, so they cannot be
+// flushed from here; instead the call arms the drain fence — the window
+// is recorded and the drain epoch bumped, and each handle flushes its
+// overlapping magazines on its own next operation. The elastic manager
+// re-invokes the hook on every Poll, so retirement converges as soon as
+// every parking worker has performed one operation — no idle-worker
+// churn or quiescent Scrub required.
 func (a *Allocator) DrainDepotRange(lo, hi uint64) {
-	if a.depot == nil {
-		return
+	if a.depot != nil {
+		// No front-end stats here: a drained chunk's free was counted when
+		// a worker parked it, exactly like the Scrub-path depot drain.
+		for _, mag := range a.depot.DrainRange(lo, hi) {
+			alloc.FreeBatchOf(a.backend, mag)
+		}
 	}
-	// No front-end stats here: a drained chunk's free was counted when a
-	// worker parked it, exactly like the Scrub-path depot drain.
-	for _, mag := range a.depot.DrainRange(lo, hi) {
-		alloc.FreeBatchOf(a.backend, mag)
+	a.drainMu.Lock()
+	if hi > a.drainWins[lo] {
+		a.drainWins[lo] = hi
 	}
+	a.drainMu.Unlock()
+	a.drainEpoch.Add(1)
+}
+
+// drainWindows snapshots the recorded draining windows.
+func (a *Allocator) drainWindows() map[uint64]uint64 {
+	a.drainMu.Lock()
+	defer a.drainMu.Unlock()
+	wins := make(map[uint64]uint64, len(a.drainWins))
+	for lo, hi := range a.drainWins {
+		wins[lo] = hi
+	}
+	return wins
 }
 
 // LayerStats implements alloc.LayerStatser: the front-end entry with its
@@ -284,9 +330,10 @@ func (a *Allocator) LayerStats() []alloc.LayerStats {
 func (a *Allocator) NewHandle() alloc.Handle {
 	classes := a.geo.Depth - a.geo.MaxLevel + 1
 	h := &Handle{
-		a:    a,
-		back: a.backend.NewHandle(),
-		mags: make([][]uint64, classes),
+		a:     a,
+		back:  a.backend.NewHandle(),
+		mags:  make([][]uint64, classes),
+		epoch: a.drainEpoch.Load(),
 	}
 	a.mu.Lock()
 	a.handles = append(a.handles, h)
@@ -306,20 +353,59 @@ type CacheStats struct {
 // use. Call Flush before dropping a handle, or its cached chunks stay
 // reserved in the back-end until the allocator-level Scrub reclaims them.
 type Handle struct {
-	a     *Allocator
-	back  alloc.Handle
-	mags  [][]uint64 // per level-class stacks of cached offsets
-	stats alloc.Stats
-	cache CacheStats
+	a      *Allocator
+	back   alloc.Handle
+	mags   [][]uint64 // per level-class stacks of cached offsets
+	stats  alloc.Stats
+	cache  CacheStats
+	epoch  uint64
+	closed bool
 }
 
 func (h *Handle) class(level int) int { return level - h.a.geo.MaxLevel }
+
+// syncDrain catches the handle up with the drain fence: every magazine
+// holding a chunk inside a recorded draining window flushes to the
+// back-end, so the draining instance's live count can reach zero while
+// this worker stays idle-but-alive afterwards.
+func (h *Handle) syncDrain(epoch uint64) {
+	h.epoch = epoch
+	wins := h.a.drainWindows()
+	if len(wins) == 0 {
+		return
+	}
+	for cls, mag := range h.mags {
+		hit := false
+	scan:
+		for _, off := range mag {
+			for lo, hi := range wins {
+				if off >= lo && off < hi {
+					hit = true
+					break scan
+				}
+			}
+		}
+		if hit {
+			alloc.HandleFreeBatch(h.back, mag)
+			h.cache.Spills += uint64(len(mag))
+			h.mags[cls] = mag[:0]
+		}
+	}
+}
+
+// checkDrain is the one-atomic-load fast path of the drain fence.
+func (h *Handle) checkDrain() {
+	if e := h.a.drainEpoch.Load(); e != h.epoch {
+		h.syncDrain(e)
+	}
+}
 
 // Alloc serves from the size class magazine. On an empty magazine a
 // depot-backed handle exchanges it for a full one in O(1), and only a
 // depot miss reaches the back-end — as one batch refill. Without a depot
 // the miss goes straight down, chunk-at-a-time (the PR-1 discipline).
 func (h *Handle) Alloc(size uint64) (uint64, bool) {
+	h.checkDrain()
 	if size > h.a.geo.MaxSize {
 		h.stats.AllocFails++
 		return 0, false
@@ -371,6 +457,7 @@ func (h *Handle) Alloc(size uint64) (uint64, bool) {
 // depot capacity, drains it to the back-end as one batch); without a
 // depot the older half spills chunk-at-a-time as before.
 func (h *Handle) Free(offset uint64) {
+	h.checkDrain()
 	size := h.a.sizer.ChunkSize(offset)
 	cls := h.class(h.a.geo.LevelForSize(size))
 	mag := h.mags[cls]
@@ -453,3 +540,31 @@ func (h *Handle) CacheStats() CacheStats { return h.cache }
 
 // Stats implements alloc.Handle.
 func (h *Handle) Stats() *alloc.Stats { return &h.stats }
+
+// Close implements alloc.HandleCloser: flush the magazines, fold the
+// operation and cache counters into the allocator's retained totals,
+// unregister, and close the wrapped back-end handle. The handle must not
+// be used afterwards.
+func (h *Handle) Close() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	h.Flush()
+	a := h.a
+	a.mu.Lock()
+	for i, other := range a.handles {
+		if other == h {
+			a.handles[i] = a.handles[len(a.handles)-1]
+			a.handles = a.handles[:len(a.handles)-1]
+			break
+		}
+	}
+	a.closed.Add(h.stats)
+	a.closedCache.Hits += h.cache.Hits
+	a.closedCache.Misses += h.cache.Misses
+	a.closedCache.Spills += h.cache.Spills
+	a.closedCache.Refills += h.cache.Refills
+	a.mu.Unlock()
+	alloc.CloseHandle(h.back)
+}

@@ -11,7 +11,8 @@ import (
 // Trajectory diffing: compare a freshly measured JSON report against a
 // committed BENCH_pr*.json baseline cell by cell, so CI can print where
 // the current tree stands relative to the last recorded point. Cells are
-// paired by (workload, allocator, bytes, threads); throughput is the
+// paired by (workload, allocator, bytes, threads, procs, slab cutoff);
+// throughput is the
 // comparison metric because it is pooled across reps and meaningful for
 // both fixed-window and fixed-volume drivers.
 
@@ -25,6 +26,10 @@ type CellDelta struct {
 	// (which is also what pre-procs baselines report, so old and new
 	// standard grids keep pairing).
 	Procs int
+	// SlabCutoff distinguishes slab-stack cells by their class table; 0
+	// for slab-less stacks (and for pre-slab baselines, the same sentinel
+	// convention as Procs, so mixed-schema reports keep pairing).
+	SlabCutoff uint64
 	// BaseOps and FreshOps are ops/sec; a side missing the cell reports 0
 	// there and In marks which sides carried it.
 	BaseOps  float64
@@ -42,7 +47,7 @@ func (d CellDelta) DeltaPct() float64 {
 }
 
 func cellKey(c JSONCell) string {
-	return fmt.Sprintf("%s|%s|%d|%d|%d", c.Workload, c.Allocator, c.Bytes, c.Threads, c.Procs)
+	return fmt.Sprintf("%s|%s|%d|%d|%d|%d", c.Workload, c.Allocator, c.Bytes, c.Threads, c.Procs, c.SlabCutoff)
 }
 
 // DiffReports pairs the two reports' cells and returns the deltas in the
@@ -62,7 +67,7 @@ func DiffReports(base, fresh JSONReport) []CellDelta {
 		seen[k] = true
 		d := CellDelta{
 			Workload: b.Workload, Allocator: b.Allocator, Bytes: b.Bytes, Threads: b.Threads,
-			Procs: b.Procs, BaseOps: b.OpsPerSec, In: "baseline-only",
+			Procs: b.Procs, SlabCutoff: b.SlabCutoff, BaseOps: b.OpsPerSec, In: "baseline-only",
 		}
 		if f, ok := freshBy[k]; ok {
 			d.FreshOps = f.OpsPerSec
@@ -76,7 +81,7 @@ func DiffReports(base, fresh JSONReport) []CellDelta {
 			seen[cellKey(f)] = true
 			extra = append(extra, CellDelta{
 				Workload: f.Workload, Allocator: f.Allocator, Bytes: f.Bytes, Threads: f.Threads,
-				Procs: f.Procs, FreshOps: f.OpsPerSec, In: "fresh-only",
+				Procs: f.Procs, SlabCutoff: f.SlabCutoff, FreshOps: f.OpsPerSec, In: "fresh-only",
 			})
 		}
 	}

@@ -61,3 +61,46 @@ func TestWriteDiffRendersBothFormats(t *testing.T) {
 		t.Fatalf("text diff malformed:\n%s", txt.String())
 	}
 }
+
+// TestDiffMixedSchemaSlabPairing pins the slab-cutoff cell identity: a
+// pre-slab baseline (no slab_cutoff field, zero value) pairs with fresh
+// slab-less cells of the same label, while a slab cell with an explicit
+// cutoff is its own grid point — the same sentinel convention Procs
+// uses, so old and new reports diff without false pairings.
+func TestDiffMixedSchemaSlabPairing(t *testing.T) {
+	base := JSONReport{Schema: JSONSchema, Label: "pr6", Cells: []JSONCell{
+		// Pre-slab baseline: the field is absent, unmarshals as 0.
+		{Workload: "mixed", Allocator: "depot+multi4+4lvl-nb", Bytes: 128, Threads: 4, OpsPerSec: 10e6},
+	}}
+	fresh := JSONReport{Schema: JSONSchema, Label: "pr7", Cells: []JSONCell{
+		{Workload: "mixed", Allocator: "depot+multi4+4lvl-nb", Bytes: 128, Threads: 4, OpsPerSec: 11e6},
+		{Workload: "mixed", Allocator: "slab+depot+multi4+4lvl-nb", Bytes: 128, Threads: 4,
+			OpsPerSec: 15e6, SlabCutoff: 2048},
+	}}
+	deltas := DiffReports(base, fresh)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2: %+v", len(deltas), deltas)
+	}
+	if deltas[0].In != "both" || math.Abs(deltas[0].DeltaPct()-10) > 1e-9 || deltas[0].SlabCutoff != 0 {
+		t.Fatalf("cell 0 = %+v, want both/+10%%/cutoff 0", deltas[0])
+	}
+	if deltas[1].In != "fresh-only" || deltas[1].SlabCutoff != 2048 {
+		t.Fatalf("cell 1 = %+v, want fresh-only with cutoff 2048", deltas[1])
+	}
+
+	// The same label at a different cutoff must NOT pair: a re-tuned
+	// class table is a different grid point, not a regression.
+	base.Cells = append(base.Cells, JSONCell{Workload: "mixed",
+		Allocator: "slab+depot+multi4+4lvl-nb", Bytes: 128, Threads: 4,
+		OpsPerSec: 14e6, SlabCutoff: 1024})
+	deltas = DiffReports(base, fresh)
+	var cutoffIns []string
+	for _, d := range deltas {
+		if d.Allocator == "slab+depot+multi4+4lvl-nb" {
+			cutoffIns = append(cutoffIns, d.In)
+		}
+	}
+	if len(cutoffIns) != 2 || cutoffIns[0] != "baseline-only" || cutoffIns[1] != "fresh-only" {
+		t.Fatalf("cutoff-mismatched slab cells = %v, want [baseline-only fresh-only]", cutoffIns)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/alloc"
+	"repro/internal/slab"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -51,6 +52,11 @@ type Cell struct {
 	// Procs is the GOMAXPROCS the cell ran under (0 = whatever the
 	// process default was; only -procs sweeps stamp it).
 	Procs int
+	// SlabCutoff is the size-class slab cutoff of the allocator the cell
+	// ran on (0 = no slab layer in the stack). Part of the cell identity:
+	// the same label measured with a different class table is a different
+	// grid point.
+	SlabCutoff uint64
 }
 
 // Run executes the sweep, streaming per-cell progress lines to progress
@@ -73,6 +79,7 @@ func (s Sweep) Run(progress io.Writer) ([]Cell, error) {
 			for _, name := range s.Allocators {
 				samples := make([]float64, 0, reps)
 				var last workload.Result
+				var slabCutoff uint64
 				var totOps, totFails uint64
 				var totElapsed time.Duration
 				for r := 0; r < reps; r++ {
@@ -89,6 +96,9 @@ func (s Sweep) Run(progress io.Writer) ([]Cell, error) {
 					if err := cfg.Validate(); err != nil {
 						return nil, err
 					}
+					if sl := slab.Find(a); sl != nil {
+						slabCutoff = sl.Cutoff()
+					}
 					last = driver(a, cfg)
 					// Key the cell by the requested registry label: for
 					// composed stacks the display name differs (e.g.
@@ -103,7 +113,7 @@ func (s Sweep) Run(progress io.Writer) ([]Cell, error) {
 				// Pool ops and elapsed across reps so Throughput is the
 				// pooled mean, not the last rep's sample.
 				last.Ops, last.Fails, last.Elapsed = totOps, totFails, totElapsed
-				cell := Cell{Result: last, Summary: stats.Summarize(samples), Procs: s.Procs}
+				cell := Cell{Result: last, Summary: stats.Summarize(samples), Procs: s.Procs, SlabCutoff: slabCutoff}
 				cells = append(cells, cell)
 				if progress != nil {
 					procNote := ""
@@ -230,6 +240,11 @@ type JSONCell struct {
 	// grid point's P=1 cell — 1.0 is perfect scaling. Only stamped on
 	// -procs sweep cells whose P=1 companion exists in the same report.
 	ScalingEff float64 `json:"scaling_efficiency,omitempty"`
+	// SlabCutoff is the slab class cutoff of the stack the cell ran on;
+	// 0 (omitted) for slab-less stacks, which keeps pre-slab baselines
+	// and fresh slab-less cells keying identically in trajectory diffs —
+	// the same sentinel convention as Procs.
+	SlabCutoff uint64 `json:"slab_cutoff,omitempty"`
 }
 
 // JSONReport is the machine-readable benchmark report emitted by
@@ -267,6 +282,7 @@ func Report(label string, cells []Cell) JSONReport {
 			OpsPerSec:  c.Throughput(),
 			Fails:      c.Fails,
 			Procs:      c.Procs,
+			SlabCutoff: c.SlabCutoff,
 		}
 		if c.Procs > 0 {
 			k := fmt.Sprintf("%s|%s|%d|%d", c.Workload, c.Allocator, c.Size, c.Threads)

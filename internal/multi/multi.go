@@ -139,9 +139,12 @@ type Multi struct {
 
 	mu     sync.Mutex
 	nextID uint64
-	// handles is the registry of all handles ever created (for stats
-	// aggregation at quiescent points).
-	handles []*Handle
+	// handles is the registry of live handles (for stats aggregation at
+	// quiescent points); closed handles fold their routing counters into
+	// closedRouting/closedFallbacks and leave the registry.
+	handles         []*Handle
+	closedRouting   alloc.Stats
+	closedFallbacks uint64
 	// conv holds the idle convenience handles for Multi.Alloc/Free,
 	// sharded per P (indexed by proc.Hint masked to the pool count) so
 	// concurrent convenience callers stop bouncing one pool lock's cache
@@ -509,7 +512,10 @@ func (m *Multi) Handles() int {
 func (m *Multi) RouteStats() RouteStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var total RouteStats
+	total := RouteStats{
+		Routed:    m.closedRouting.Allocs - m.closedFallbacks,
+		Fallbacks: m.closedFallbacks,
+	}
 	for _, h := range m.handles {
 		total.Routed += h.stats.Allocs - h.fallbacks
 		total.Fallbacks += h.fallbacks
@@ -522,8 +528,8 @@ func (m *Multi) RouteStats() RouteStats {
 // entry for the instance fleet.
 func (m *Multi) LayerStats() []alloc.LayerStats {
 	m.mu.Lock()
-	var routing alloc.Stats
-	var fallbacks uint64
+	routing := m.closedRouting
+	fallbacks := m.closedFallbacks
 	for _, h := range m.handles {
 		routing.Add(h.stats)
 		fallbacks += h.fallbacks
@@ -873,3 +879,32 @@ func (h *Handle) Free(offset uint64) {
 // Stats returns this handle's routing counters (per-instance work is
 // accounted in the sub-handles and aggregated by Multi.Stats).
 func (h *Handle) Stats() *alloc.Stats { return &h.stats }
+
+// Close implements alloc.HandleCloser: close every cached per-instance
+// sub-handle, fold the routing counters into the router's retained
+// totals, and unregister. The handle must not be used afterwards.
+func (h *Handle) Close() {
+	if h.m == nil {
+		return
+	}
+	for k, sub := range h.subs {
+		if sub != nil {
+			alloc.CloseHandle(sub)
+			h.subs[k] = nil
+			h.subIDs[k] = 0
+		}
+	}
+	m := h.m
+	h.m = nil
+	m.mu.Lock()
+	for i, other := range m.handles {
+		if other == h {
+			m.handles[i] = m.handles[len(m.handles)-1]
+			m.handles = m.handles[:len(m.handles)-1]
+			break
+		}
+	}
+	m.closedRouting.Add(h.stats)
+	m.closedFallbacks += h.fallbacks
+	m.mu.Unlock()
+}

@@ -155,6 +155,37 @@ func (h *Handle) FreeBatch(offsets []uint64) {
 // Stats implements alloc.Handle.
 func (h *Handle) Stats() *alloc.Stats { return &h.stats }
 
+// Close implements alloc.HandleCloser: close every per-shard inner router
+// handle, fold this handle's counters into the allocator's retained
+// totals, and unregister. The handle must not be used afterwards.
+// Chunks this worker freed live in the shard caches, not in the handle,
+// so nothing needs flushing here.
+func (h *Handle) Close() {
+	if h.a == nil {
+		return
+	}
+	for k, sub := range h.subs {
+		if sub != nil {
+			alloc.CloseHandle(sub)
+			h.subs[k] = nil
+		}
+	}
+	a := h.a
+	h.a = nil
+	a.mu.Lock()
+	for i, other := range a.handles {
+		if other == h {
+			a.handles[i] = a.handles[len(a.handles)-1]
+			a.handles = a.handles[:len(a.handles)-1]
+			break
+		}
+	}
+	a.closed.Add(h.stats)
+	a.closedWraps += h.wraps
+	a.closedFallbacks += h.pinFallbacks
+	a.mu.Unlock()
+}
+
 // popCached pops a cached chunk of the class, merging this shard's
 // inbound stash into the bins first when the bin is dry and remote frees
 // are waiting. One lock round-trip on the hit path.

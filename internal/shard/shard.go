@@ -110,6 +110,11 @@ type Allocator struct {
 	convFree   []*Handle
 	convStats  alloc.Stats
 	nextStatic int
+	// Retained counters of closed handles, so quiescent aggregation keeps
+	// adding up across worker churn.
+	closed          alloc.Stats
+	closedWraps     uint64
+	closedFallbacks uint64
 }
 
 // New wraps inner (which must contain a multi router somewhere below,
@@ -278,10 +283,19 @@ func (a *Allocator) Stats() alloc.Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	total := a.convStats
+	total.Add(a.closed)
 	for _, h := range a.handles {
 		total.Add(h.stats)
 	}
 	return total
+}
+
+// Handles returns the number of registered (not yet closed) handles — a
+// diagnostic for the handle-leak regression tests.
+func (a *Allocator) Handles() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.handles)
 }
 
 // Scrub implements alloc.Scrubber: every shard's cache and stash is
@@ -360,6 +374,8 @@ func (a *Allocator) Totals() Totals {
 		t.StashedNow += int(st.inCount.Load())
 	}
 	a.mu.Lock()
+	t.PinWraps += a.closedWraps
+	t.PinFallbacks += a.closedFallbacks
 	for _, h := range a.handles {
 		t.PinWraps += h.wraps
 		t.PinFallbacks += h.pinFallbacks

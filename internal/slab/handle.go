@@ -1,0 +1,239 @@
+package slab
+
+import (
+	"repro/internal/alloc"
+)
+
+// magCap is the per-class magazine capacity of a handle; refillBatch is
+// how many objects one central take pulls, and spillBatch how many one
+// overflow pushes back — half the capacity each, so a worker alternating
+// between allocs and frees ping-pongs against the magazine, not the
+// central locks.
+const (
+	magCap      = 64
+	refillBatch = 32
+	spillBatch  = 32
+)
+
+// entry is one magazine slot: the object's offset plus its pre-resolved
+// run and slot index. Parking the resolution alongside the offset keeps
+// the magazine-hit paths free of run-index loads and slot divisions —
+// an Alloc that hits the magazine touches nothing shared but the run's
+// own req slot. The run pointer stays valid for as long as the entry is
+// parked: a run with objects in a magazine has missing free slots, so it
+// can never become fully free and be released.
+type entry struct {
+	off uint64
+	r   *run
+	i   uint32
+}
+
+// Handle is the per-worker face of the slab layer: class-sized requests
+// hit a per-class magazine (no locks), refilled from and spilled to the
+// central store in batches; larger requests forward to the wrapped
+// per-worker handle. Not safe for concurrent use, like every Handle.
+type Handle struct {
+	a      *Allocator
+	inner  alloc.Handle
+	mags   [][]entry // per class; nil slices until first use
+	stats  alloc.Stats
+	extra  handleExtra
+	epoch  uint64
+	closed bool
+}
+
+// syncDrain catches the handle up with the drain fence: flush every
+// magazine holding an offset inside a recorded draining window, so the
+// elastic manager's Poll can observe the backing runs empty without
+// waiting for a quiescent Scrub.
+func (h *Handle) syncDrain(epoch uint64) {
+	h.epoch = epoch
+	wins := h.a.drainWindows()
+	if len(wins) == 0 {
+		return
+	}
+	for ci := range h.mags {
+		m := h.mags[ci]
+		hit := false
+	scan:
+		for _, e := range m {
+			for lo, hi := range wins {
+				if e.off >= lo && e.off < hi {
+					hit = true
+					break scan
+				}
+			}
+		}
+		if hit {
+			h.a.putEntries(ci, m)
+			h.mags[ci] = m[:0]
+			h.extra.drainFlushes++
+		}
+	}
+}
+
+// checkDrain is the one-atomic-load fast path of the drain fence.
+func (h *Handle) checkDrain() {
+	if e := h.a.drainEpoch.Load(); e != h.epoch {
+		h.syncDrain(e)
+	}
+}
+
+// Alloc implements alloc.Handle.
+func (h *Handle) Alloc(size uint64) (uint64, bool) {
+	h.checkDrain()
+	a := h.a
+	if a.cutoff == 0 || size > a.cutoff {
+		return a.allocLarge(h.inner, size, &h.stats)
+	}
+	ci := a.classOf(size)
+	m := h.mags[ci]
+	if len(m) == 0 {
+		m = a.takeEntries(ci, m, refillBatch)
+		if len(m) == 0 {
+			a.reclaimEmpties()
+			m = a.takeEntries(ci, m, refillBatch)
+		}
+		if len(m) == 0 {
+			return a.allocSmall(h.inner, size, &h.stats, &h.extra)
+		}
+		h.extra.refills++
+	}
+	e := m[len(m)-1]
+	h.mags[ci] = m[:len(m)-1]
+	stamp(e.r, e.i, size, &h.extra)
+	h.stats.Allocs++
+	return e.off, true
+}
+
+// Free implements alloc.Handle.
+func (h *Handle) Free(off uint64) {
+	h.checkDrain()
+	a := h.a
+	r := a.runAt(off)
+	if r == nil {
+		h.inner.Free(off)
+		h.stats.Frees++
+		return
+	}
+	i := ownFree(r, off, &h.extra)
+	h.stats.Frees++
+	m := append(h.mags[r.class], entry{off: off, r: r, i: i})
+	if len(m) > magCap {
+		n := len(m) - spillBatch
+		a.putEntries(r.class, m[n:])
+		m = m[:n]
+		h.extra.spills++
+	}
+	h.mags[r.class] = m
+}
+
+// AllocBatch implements alloc.BatchHandle: class-sized batches drain the
+// magazine then the central store; larger sizes forward to the wrapped
+// handle's native batching.
+func (h *Handle) AllocBatch(size uint64, n int) []uint64 {
+	h.checkDrain()
+	if n <= 0 {
+		return nil
+	}
+	a := h.a
+	if a.cutoff == 0 || size > a.cutoff {
+		out := alloc.HandleAllocBatch(h.inner, size, n)
+		h.stats.Allocs += uint64(len(out))
+		if len(out) < n {
+			h.stats.AllocFails++
+		}
+		return out
+	}
+	ci := a.classOf(size)
+	out := make([]uint64, 0, n)
+	m := h.mags[ci]
+	for len(out) < n && len(m) > 0 {
+		e := m[len(m)-1]
+		m = m[:len(m)-1]
+		stamp(e.r, e.i, size, &h.extra)
+		out = append(out, e.off)
+	}
+	h.mags[ci] = m
+	fromMag := len(out)
+	if len(out) < n {
+		out = a.take(ci, out, n)
+	}
+	if len(out) < n {
+		a.reclaimEmpties()
+		out = a.take(ci, out, n)
+	}
+	for _, off := range out[fromMag:] {
+		a.ownAlloc(off, size, &h.extra)
+	}
+	h.stats.Allocs += uint64(len(out))
+	if len(out) < n {
+		h.stats.AllocFails++
+	}
+	return out
+}
+
+// FreeBatch implements alloc.BatchHandle: slab objects go straight to
+// their runs grouped by class (bypassing the magazine — batch frees are
+// drain traffic, not hot-loop traffic), pass-through offsets forward to
+// the wrapped handle as one batch.
+func (h *Handle) FreeBatch(offs []uint64) {
+	h.checkDrain()
+	a := h.a
+	var fwd []uint64
+	byClass := map[int][]uint64{}
+	for _, off := range offs {
+		r := a.runAt(off)
+		if r == nil {
+			fwd = append(fwd, off)
+			continue
+		}
+		ownFree(r, off, &h.extra)
+		byClass[r.class] = append(byClass[r.class], off)
+	}
+	for ci, group := range byClass {
+		a.put(ci, group)
+	}
+	if len(fwd) > 0 {
+		alloc.HandleFreeBatch(h.inner, fwd)
+	}
+	h.stats.Frees += uint64(len(offs))
+}
+
+// Stats implements alloc.Handle.
+func (h *Handle) Stats() *alloc.Stats { return &h.stats }
+
+// Flush spills every magazine to the central store. Callable by the
+// owning goroutine at any time, or by Scrub/Close at quiescent points.
+func (h *Handle) Flush() {
+	for ci, m := range h.mags {
+		if len(m) > 0 {
+			h.a.putEntries(ci, m)
+			h.mags[ci] = m[:0]
+		}
+	}
+}
+
+// Close implements alloc.HandleCloser: flush the magazines, fold the
+// counters into the allocator's retained totals, unregister, and close
+// the wrapped handle. The handle must not be used afterwards.
+func (h *Handle) Close() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	h.Flush()
+	a := h.a
+	a.mu.Lock()
+	for i, other := range a.handles {
+		if other == h {
+			a.handles[i] = a.handles[len(a.handles)-1]
+			a.handles = a.handles[:len(a.handles)-1]
+			break
+		}
+	}
+	a.closed.stats.Add(h.stats)
+	a.closed.extra.add(h.extra)
+	a.mu.Unlock()
+	alloc.CloseHandle(h.inner)
+}

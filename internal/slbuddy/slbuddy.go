@@ -58,6 +58,7 @@ type Allocator struct {
 
 	mu      sync.Mutex
 	handles []*Handle
+	closed  alloc.Stats // retained counters of closed handles
 }
 
 // New1Lvl builds the "1lvl-sl" baseline.
@@ -118,7 +119,7 @@ func (a *Allocator) NewHandle() alloc.Handle {
 func (a *Allocator) Stats() alloc.Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	var total alloc.Stats
+	total := a.closed
 	for _, h := range a.handles {
 		total.Add(h.stats)
 	}
@@ -127,12 +128,43 @@ func (a *Allocator) Stats() alloc.Stats {
 
 // Handle is the per-worker face of the allocator.
 type Handle struct {
-	a     *Allocator
-	stats alloc.Stats
+	a      *Allocator
+	stats  alloc.Stats
+	closed bool
 }
 
 // Stats implements alloc.Handle.
 func (h *Handle) Stats() *alloc.Stats { return &h.stats }
+
+// Close implements alloc.HandleCloser: fold this handle's counters into
+// the allocator's retained totals and unregister it, so handle-churning
+// callers do not grow the registry without bound. The handle must not be
+// used afterwards.
+func (h *Handle) Close() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	a := h.a
+	a.mu.Lock()
+	for i, other := range a.handles {
+		if other == h {
+			a.handles[i] = a.handles[len(a.handles)-1]
+			a.handles = a.handles[:len(a.handles)-1]
+			break
+		}
+	}
+	a.closed.Add(h.stats)
+	a.mu.Unlock()
+}
+
+// Handles returns the number of registered (not yet closed) handles — a
+// diagnostic for the handle-leak regression tests.
+func (a *Allocator) Handles() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.handles)
+}
 
 // Alloc implements alloc.Handle.
 func (h *Handle) Alloc(size uint64) (uint64, bool) { return h.a.alloc(size, &h.stats) }

@@ -103,6 +103,8 @@ func TestConformanceRegistryComposites(t *testing.T) {
 		"depot+4lvl-nb", "depot+multi4+4lvl-nb", "elastic+multi+4lvl-nb",
 		"mapped+elastic+multi+4lvl-nb",
 		"shard+mapped+elastic+multi+4lvl-nb",
+		"slab+4lvl-nb", "slab+depot+multi4+4lvl-nb",
+		"slab+mapped+elastic+multi+4lvl-nb",
 	} {
 		t.Run(name, func(t *testing.T) { alloctest.Run(t, name) })
 	}

@@ -26,6 +26,9 @@ func TestDifferentialRegistryComposites(t *testing.T) {
 		"elastic+multi+4lvl-nb",
 		"mapped+elastic+multi+4lvl-nb",
 		"shard+mapped+elastic+multi+4lvl-nb",
+		"slab+4lvl-nb",
+		"slab+depot+multi4+4lvl-nb",
+		"slab+mapped+elastic+multi+4lvl-nb",
 	}
 	for _, name := range composites {
 		name := name

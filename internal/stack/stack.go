@@ -33,6 +33,7 @@ import (
 	"repro/internal/multi"
 	"repro/internal/proc"
 	"repro/internal/shard"
+	"repro/internal/slab"
 	"repro/internal/trace"
 )
 
@@ -79,6 +80,13 @@ type Spec struct {
 	Depot         bool
 	DepotCapacity int
 	BatchRefill   int
+	// Slab inserts the size-class layer above the caching front-end (or
+	// whatever sits below it): requests up to the cutoff are served from
+	// fixed-size runs carved out of buddy chunks, larger requests pass
+	// through. SlabCutoff bounds the largest class (0 =
+	// slab.DefaultCutoff, clamped to the geometry).
+	Slab       bool
+	SlabCutoff uint64
 	// Record, when non-nil, inserts the trace-recording layer appending
 	// to this trace.
 	Record *trace.Trace
@@ -118,6 +126,8 @@ type Stack struct {
 	Shard *shard.Allocator
 	// Frontend is the caching layer (nil when not Cached).
 	Frontend *frontend.Allocator
+	// Slab is the size-class layer (nil when not Spec.Slab).
+	Slab *slab.Allocator
 	// Trace is the recording layer (nil when Record was nil).
 	Trace *trace.Allocator
 	// Arena is the materialized-region layer (nil when not Materialize).
@@ -249,6 +259,21 @@ func Build(s Spec) (*Stack, error) {
 			st.Elastic.OnDrainRange(fe.DrainDepotRange)
 		}
 	}
+	if s.Slab {
+		sl, err := slab.New(st.Top, s.SlabCutoff)
+		if err != nil {
+			return nil, err
+		}
+		st.Slab = sl
+		st.Top = sl
+		if st.Elastic != nil {
+			// Run cooperation: a run carved from a draining instance's
+			// window pins its live count like a parked magazine does, so
+			// retirement needs the slab's empty runs released and its
+			// handle magazines fenced for the window.
+			st.Elastic.OnDrainRange(sl.DrainRange)
+		}
+	}
 	if s.Record != nil {
 		tr, err := trace.NewAllocator(st.Top, s.Record)
 		if err != nil {
@@ -343,6 +368,34 @@ func init() {
 	alloc.Register("depot+multi4+4lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
 		n := registryInstances(4, cfg)
 		st, err := Build(Spec{Variant: "4lvl-nb", Per: perConfig(cfg, n), Instances: n, Depot: true})
+		if err != nil {
+			return nil, err
+		}
+		return st.Top, nil
+	})
+	// Slab composites: the size-class layer over a bare leaf, over the
+	// depot stack (runs refill through the batched depot path), and over
+	// the full mapped elastic stack (runs participate in retirement via
+	// the DrainRange fence).
+	alloc.Register("slab+4lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
+		st, err := Build(Spec{Variant: "4lvl-nb", Per: cfg, Slab: true})
+		if err != nil {
+			return nil, err
+		}
+		return st.Top, nil
+	})
+	alloc.Register("slab+depot+multi4+4lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
+		n := registryInstances(4, cfg)
+		st, err := Build(Spec{Variant: "4lvl-nb", Per: perConfig(cfg, n), Instances: n, Depot: true, Slab: true})
+		if err != nil {
+			return nil, err
+		}
+		return st.Top, nil
+	})
+	alloc.Register("slab+mapped+elastic+multi+4lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
+		n := registryInstances(4, cfg)
+		ec := &elastic.Config{MinInstances: 1, MaxInstances: 2 * n}
+		st, err := Build(Spec{Variant: "4lvl-nb", Per: perConfig(cfg, n), Instances: n, Elastic: ec, Mapped: true, Slab: true})
 		if err != nil {
 			return nil, err
 		}

@@ -97,6 +97,10 @@ func (r *Recorder) Free(offset uint64) {
 // Stats forwards to the wrapped handle.
 func (r *Recorder) Stats() *alloc.Stats { return r.inner.Stats() }
 
+// Close implements alloc.HandleCloser by forwarding to the wrapped
+// handle; the recorder keeps no chunk state of its own.
+func (r *Recorder) Close() { alloc.CloseHandle(r.inner) }
+
 // Allocator is the trace-recording layer of a composable stack: every
 // handle it creates is a Recorder appending to one shared Trace. Each
 // recorded operation is serialized whole (inner call plus append), so

@@ -27,6 +27,12 @@
 //     When the allocator stack contains one, the driver polls it at phase
 //     boundaries and during the holds, so instances grow at peak and
 //     drain/retire at trough; on fixed stacks it is a pure sawtooth.
+//   - Mixed (this repository's): each thread churns a fixed working set
+//     with log-uniform request sizes — an octave exponent drawn
+//     uniformly, then a size drawn uniformly within the octave — so
+//     small, poorly power-of-two-fitting requests dominate the stream
+//     the way they dominate real allocator traffic. The size-class slab
+//     layer's showcase.
 //
 // Every driver takes a prebuilt allocator instance and a Config whose
 // operation counts follow the paper (20M/T for Linux Scalability and
@@ -102,6 +108,7 @@ var Drivers = map[string]Func{
 	"remote-free":        RemoteFree,
 	"frag":               Frag,
 	"burst":              Burst,
+	"mixed":              Mixed,
 }
 
 // run spawns cfg.Threads workers, waits for all to finish, and accounts
@@ -531,6 +538,55 @@ func ConstantOccupancy(a alloc.Allocator, cfg Config) Result {
 				h.Free(c.off)
 			}
 			c.off, c.ok = h.Alloc(c.size)
+		}
+		for _, c := range pool {
+			if c.ok {
+				h.Free(c.off)
+			}
+		}
+	})
+}
+
+// mixedSlots is the per-thread working-set size of the mixed driver.
+const mixedSlots = 256
+
+// Mixed: each thread keeps a mixedSlots-entry working set and runs
+// 20M/T rounds of {free the slot if occupied; alloc a fresh log-uniform
+// size into it}. Sizes draw an octave exponent uniformly from
+// [3, log2(cfg.Size)-1] and then a size uniformly within the octave, so
+// the stream is dominated by small requests with poor power-of-two fit
+// (the sizes a size-class slab serves from runs) while the top octave
+// keeps larger chunks in play; cfg.Size bounds the largest request.
+// The base iteration count is 5x the fixed-size drivers': mixed ops are
+// magazine-hit cheap, so short cells would be dominated by per-rep
+// stack construction (run provisioning, magazine fill) instead of the
+// steady state the driver exists to compare.
+func Mixed(a alloc.Allocator, cfg Config) Result {
+	iters := cfg.scaled(100_000_000) / uint64(cfg.Threads)
+	maxE := 3
+	for uint64(1)<<(maxE+2) <= cfg.Size {
+		maxE++
+	}
+	return run("mixed", a, cfg, func(id int, h alloc.Handle) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*15485863))
+		size := func() uint64 {
+			lo := uint64(1) << (3 + rng.Intn(maxE-2))
+			if s := lo + uint64(rng.Int63n(int64(lo))); s <= cfg.Size {
+				return s
+			}
+			return cfg.Size // degenerate tiny cfg.Size: stay in bounds
+		}
+		type chunk struct {
+			off uint64
+			ok  bool
+		}
+		pool := make([]chunk, mixedSlots)
+		for i := uint64(0); i < iters; i++ {
+			c := &pool[rng.Intn(len(pool))]
+			if c.ok {
+				h.Free(c.off)
+			}
+			c.off, c.ok = h.Alloc(size())
 		}
 		for _, c := range pool {
 			if c.ok {
