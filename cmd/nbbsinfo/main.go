@@ -284,6 +284,10 @@ func demo(sc stackConfig) {
 			r.Windows(), r.WindowSize(), s.ReservedBytes, s.CommittedBytes)
 		fmt.Printf("  lifecycle: commits=%d decommits=%d recommits=%d\n",
 			s.Commits, s.Decommits, s.Recommits)
+		if s.HugeFallbacks+s.BindFailures+s.ReserveFails+s.CommitFails+s.DecommitFails > 0 {
+			fmt.Printf("  degradation: huge_fallbacks=%d bind_failures=%d reserve_fails=%d commit_fails=%d decommit_fails=%d\n",
+				s.HugeFallbacks, s.BindFailures, s.ReserveFails, s.CommitFails, s.DecommitFails)
+		}
 		fmt.Printf("  commit map:\n")
 		nodes := r.NodeMap()
 		for k, committed := range r.CommitMap() {
@@ -320,6 +324,10 @@ func demo(sc stackConfig) {
 		fmt.Printf("  fleet bounds: %d..%d instances\n", cfg.MinInstances, cfg.MaxInstances)
 		fmt.Printf("  lifecycle: polls=%d grows=%d reactivations=%d drains=%d retires=%d denied_at_cap=%d\n",
 			c.Polls, c.Grows, c.Reactivations, c.Drains, c.Retires, c.DeniedAtCap)
+		if c.GrowFailures+c.GrowRetries+c.DeniedBackpressure+c.RetireFailures > 0 {
+			fmt.Printf("  degradation: grow_failures=%d grow_retries=%d denied_backpressure=%d retire_failures=%d\n",
+				c.GrowFailures, c.GrowRetries, c.DeniedBackpressure, c.RetireFailures)
+		}
 		span := mgr.Router().InstanceSpan()
 		fmt.Printf("  per-instance utilization (%d-byte windows):\n", span)
 		fmt.Printf("    %-5s %-9s %12s %14s %8s\n", "slot", "state", "live chunks", "live bytes", "util")

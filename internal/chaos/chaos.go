@@ -1,0 +1,398 @@
+// Package chaos is the fault-schedule stress harness of the mapped
+// elastic stack: it drives the differential map-oracle workload while a
+// seeded fault injector makes the region's lifecycle syscalls fail, and
+// asserts the two halves of the robustness contract —
+//
+//  1. no invariant violation while faults are active: every delivered
+//     chunk is exclusive and correctly sized, no operation panics on an
+//     environmental error, the capacity manager keeps serving decisions
+//     (degrading allocation to deny when growth is refused);
+//  2. full recovery once the schedule clears: pending drains retire to a
+//     healthy floor (the ROADMAP's "kill an instance mid-drain" scenario
+//     included — a retirement interrupted by decommit failure must stay
+//     draining and complete later), committed bytes reconcile with the
+//     published instance set, layer stats balance, and the stack grows
+//     and allocates again.
+//
+// Every injected fault is recorded, so a failing run's Report carries a
+// schedule that replays the failure exactly (fault.Replay); nbbsstress
+// -chaos writes it as the incident artifact CI uploads.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"syscall"
+	"time"
+
+	"repro/internal/alloc"
+	"repro/internal/elastic"
+	"repro/internal/fault"
+	"repro/internal/multi"
+	"repro/internal/slab"
+	"repro/internal/stack"
+)
+
+// Config parameterizes one chaos run.
+type Config struct {
+	// Composite selects the stack under test (see Composites).
+	Composite string
+	// Seed drives both the workload RNG and the probabilistic fault
+	// schedule.
+	Seed uint64
+	// Steps is the number of workload operations under the active fault
+	// schedule (0 = 8000).
+	Steps int
+	// Prob is the per-syscall fault probability of the generated
+	// schedule (0 = 0.05).
+	Prob float64
+	// Replay, when non-nil, replays a recorded schedule instead of
+	// generating one from Seed/Prob — the incident-reproduction path.
+	Replay []fault.Fault
+}
+
+// Composites lists the stack compositions the harness covers: the
+// mapped elastic router, bare and under the slab layer (which adds run
+// carving and the slab drain fence to the fault surface).
+func Composites() []string { return []string{"mapped+elastic", "slab+mapped+elastic"} }
+
+// Report is the outcome of one chaos run.
+type Report struct {
+	Composite string  `json:"composite"`
+	Seed      uint64  `json:"seed"`
+	Steps     int     `json:"steps"`
+	Prob      float64 `json:"prob"`
+	// Violations are invariant breaches (empty on a passing run); the
+	// first breach aborts the run.
+	Violations []string `json:"violations,omitempty"`
+	// Recovered reports that the post-schedule health checks all passed.
+	Recovered bool `json:"recovered"`
+	// Schedule is the complete record of injected faults — feed it back
+	// through Config.Replay to reproduce this run exactly.
+	Schedule []fault.Fault `json:"schedule"`
+	// Injected is the total number of injected faults.
+	Injected uint64 `json:"injected"`
+	// MidDrainKills counts retirements the harness interrupted with a
+	// forced decommit failure.
+	MidDrainKills int `json:"mid_drain_kills"`
+	// Ops counts workload operations that reached the allocator.
+	Ops uint64 `json:"ops"`
+	// Denied counts allocation attempts the degraded stack refused —
+	// the deny rung of the ladder, a legitimate outcome, never an error.
+	Denied uint64 `json:"denied"`
+}
+
+// OK reports whether the run held every invariant and recovered.
+func (r *Report) OK() bool { return len(r.Violations) == 0 && r.Recovered }
+
+func (r *Report) failf(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// buildComposite assembles the stack under test with the injector wired
+// into its region. The injector is armed AFTER the build: construction
+// commits the initial windows, and the contract under test is runtime
+// degradation, not construction failure.
+func buildComposite(label string, in *fault.Injector) (*stack.Stack, error) {
+	per := alloc.Config{Total: 1 << 16, MinSize: 64, MaxSize: 1 << 14}
+	spec := stack.Spec{
+		Variant:   "4lvl-nb",
+		Per:       per,
+		Instances: 2,
+		Elastic:   &elastic.Config{MinInstances: 1, MaxInstances: 4, Hysteresis: 1},
+		Mapped:    true,
+		Faults:    in,
+	}
+	switch label {
+	case "mapped+elastic":
+	case "slab+mapped+elastic":
+		spec.Slab = true
+	default:
+		return nil, fmt.Errorf("chaos: unknown composite %q (have %v)", label, Composites())
+	}
+	return stack.Build(spec)
+}
+
+// schedule builds the probabilistic rule set covering every fault site.
+func schedule(p float64) []fault.Rule {
+	return []fault.Rule{
+		fault.FailProb(fault.Reserve, p, syscall.ENOMEM),
+		fault.FailProb(fault.Commit, p, syscall.ENOMEM),
+		fault.FailProb(fault.Huge, p, syscall.EINVAL),
+		fault.FailProb(fault.Bind, p, syscall.EPERM),
+		fault.FailProb(fault.Decommit, p, syscall.EAGAIN),
+	}
+}
+
+// chunk is the oracle's record of one delivered chunk.
+type chunk struct {
+	off      uint64
+	reserved uint64
+}
+
+// Run executes one chaos run and returns its report. It never panics:
+// a panic anywhere in the driven stack is converted into a violation
+// (environmental failure must degrade, not crash).
+func Run(cfg Config) (rep Report) {
+	if cfg.Steps <= 0 {
+		cfg.Steps = 8000
+	}
+	if cfg.Prob <= 0 {
+		cfg.Prob = 0.05
+	}
+	rep = Report{Composite: cfg.Composite, Seed: cfg.Seed, Steps: cfg.Steps, Prob: cfg.Prob}
+
+	in := fault.New(cfg.Seed)
+	st, err := buildComposite(cfg.Composite, in)
+	if err != nil {
+		rep.failf("building %s: %v", cfg.Composite, err)
+		return rep
+	}
+
+	// A logical clock stepped by the workload: backoff decisions depend
+	// only on the step counter, so a replayed schedule sees the identical
+	// clock and makes the identical retry decisions.
+	var step int
+	base := time.Unix(0, 0)
+	st.Elastic.SetClock(func() time.Time {
+		return base.Add(time.Duration(step) * time.Millisecond)
+	})
+
+	defer func() {
+		rep.Schedule = in.Record()
+		rep.Injected = in.InjectedTotal()
+		if p := recover(); p != nil {
+			rep.failf("panic under fault schedule: %v", p)
+			rep.Recovered = false
+		}
+	}()
+
+	// Arm the schedule only now — the build needed its commits.
+	if cfg.Replay != nil {
+		in.UseReplay(cfg.Replay)
+	} else {
+		in.Set(schedule(cfg.Prob)...)
+	}
+
+	a := st.Top
+	geo := a.Geometry()
+	mgr := st.Elastic
+	sl := slab.Find(a)
+	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
+	// Two persistent handles, never the convenience Alloc/Free path: the
+	// router shards its idle convenience handles per P, so which handle
+	// (and which preferred instance) a convenience call draws depends on
+	// goroutine placement — nondeterministic at GOMAXPROCS > 1, which
+	// would break the replay contract. Handles route deterministically.
+	h := a.NewHandle()
+	h2 := a.NewHandle()
+
+	var live []chunk
+	occupied := map[uint64]bool{}
+
+	sizeFor := func() uint64 {
+		size := uint64(1) << (6 + rng.Intn(9)) // 64..16384
+		if sl != nil && sl.Cutoff() != 0 && rng.Intn(2) == 0 {
+			switch rng.Intn(4) {
+			case 0:
+				size = sl.Cutoff() - 1
+			case 1:
+				size = sl.Cutoff()
+			case 2:
+				size = sl.Cutoff() + 1
+			default:
+				size = 1 + uint64(rng.Int63n(int64(geo.MaxSize)))
+			}
+		}
+		return size
+	}
+
+	// admit checks a delivered chunk against the oracle; false aborts.
+	admit := func(off, size uint64, how string) bool {
+		reserved := geo.SizeOfLevel(geo.LevelForSize(size))
+		align := reserved
+		if cs, ok := a.(alloc.ChunkSizer); ok {
+			got := cs.ChunkSize(off)
+			matched := got == reserved
+			if sl != nil && !matched {
+				if cls, slabbed := sl.ReservedFor(size); slabbed && got == cls {
+					reserved, align, matched = cls, geo.MinSize, true
+				}
+			}
+			if !matched {
+				rep.failf("step %d: ChunkSize(%#x) = %d, want reserved %d (%s %d)", step, off, got, reserved, how, size)
+				return false
+			}
+		}
+		span := alloc.SpanOf(a)
+		if off%align != 0 || off+reserved > span {
+			rep.failf("step %d: %s(%d) -> [%d,%d) misaligned or outside the %d-byte span", step, how, size, off, off+reserved, span)
+			return false
+		}
+		for u := off / geo.MinSize; u < (off+reserved)/geo.MinSize; u++ {
+			if occupied[u] {
+				rep.failf("step %d: %s(%d) at %#x double-hands-out unit %d", step, how, size, off, u)
+				return false
+			}
+			occupied[u] = true
+		}
+		live = append(live, chunk{off, reserved})
+		return true
+	}
+	release := func(k int) chunk {
+		c := live[k]
+		for u := c.off / geo.MinSize; u < (c.off+c.reserved)/geo.MinSize; u++ {
+			delete(occupied, u)
+		}
+		live[k] = live[len(live)-1]
+		live = live[:len(live)-1]
+		return c
+	}
+	freeAll := func() {
+		var rest []uint64
+		for _, c := range live {
+			rest = append(rest, c.off)
+		}
+		live, occupied = nil, map[uint64]bool{}
+		alloc.HandleFreeBatch(h, rest)
+		if s, ok := a.(alloc.Scrubber); ok {
+			s.Scrub()
+		}
+	}
+
+	// Phase 1: the random walk under the active fault schedule.
+	for ; step < cfg.Steps && len(rep.Violations) == 0; step++ {
+		rep.Ops++
+		switch op := rng.Intn(10); {
+		case op < 4:
+			size := sizeFor()
+			if off, ok := h.Alloc(size); ok {
+				admit(off, size, "Alloc")
+			} else {
+				rep.Denied++
+			}
+		case op < 6 && len(live) > 0:
+			h.Free(release(rng.Intn(len(live))).off)
+		case op < 7:
+			size := uint64(1) << (6 + rng.Intn(6)) // 64..2048
+			n := 1 + rng.Intn(24)
+			offs := alloc.HandleAllocBatch(h, size, n)
+			for _, off := range offs {
+				if !admit(off, size, "AllocBatch") {
+					break
+				}
+			}
+		case op < 8 && len(live) > 1:
+			n := 1 + rng.Intn(len(live))
+			batch := make([]uint64, 0, n)
+			for i := 0; i < n; i++ {
+				batch = append(batch, release(rng.Intn(len(live))).off)
+			}
+			alloc.HandleFreeBatch(h, batch)
+		case op < 9:
+			if s, ok := a.(alloc.Scrubber); ok {
+				s.Scrub()
+			}
+		default:
+			size := sizeFor()
+			if off, ok := h2.Alloc(size); ok {
+				admit(off, size, "second-handle Alloc")
+			} else {
+				rep.Denied++
+			}
+		}
+		// Lifecycle interleave: Poll completes pending retires and runs
+		// the watermark policy; forced Grow/Shrink keep the instance set
+		// moving. Refusals (cap, floor, backpressure) are legitimate.
+		if rng.Intn(12) == 0 {
+			switch rng.Intn(4) {
+			case 0, 1:
+				mgr.Poll()
+			case 2:
+				mgr.Grow()
+			case 3:
+				mgr.Shrink()
+			}
+		}
+	}
+	if len(rep.Violations) > 0 {
+		return rep
+	}
+
+	// Phase 2: the mid-drain kill. Empty the stack, make sure there is a
+	// drainable instance (the walk may have settled at the floor — lift
+	// the phase-1 schedule and any backoff window so the grow is clean),
+	// then start a drain and make its decommit fail persistently: the
+	// retirement must park as draining (published, window committed)
+	// instead of half-dying.
+	freeAll()
+	in.Clear()
+	step += 1000
+	for i := 0; mgr.Router().ActiveInstances() < 2 && i < 4; i++ {
+		if _, err := mgr.Grow(); err != nil {
+			rep.failf("mid-drain kill setup: grow with faults cleared: %v", err)
+			return rep
+		}
+	}
+	in.Set(fault.FailAlways(fault.Decommit, syscall.EAGAIN))
+	victim, err := mgr.Shrink()
+	if err != nil {
+		rep.failf("mid-drain kill: shrink refused with %d active instances: %v",
+			mgr.Router().ActiveInstances(), err)
+		return rep
+	}
+	rep.MidDrainKills++
+	mgr.Poll() // drives TryRetire into the injected decommit failure
+	infos := mgr.Router().InstanceInfos()
+	if victim >= len(infos) || infos[victim].State != multi.Draining {
+		rep.failf("mid-drain kill: victim %d not parked draining after decommit failure", victim)
+		return rep
+	}
+	if !st.Mem.Committed(victim) {
+		rep.failf("mid-drain kill: victim %d window decommitted despite the injected failure", victim)
+		return rep
+	}
+	if c := mgr.Counters(); c.RetireFailures == 0 {
+		rep.failf("mid-drain kill: retire failure not counted: %+v", c)
+		return rep
+	}
+
+	// Phase 3: recovery. The schedule clears; the parked retirement must
+	// complete, the fleet must settle to a healthy floor, accounting must
+	// reconcile, and the stack must grow and allocate again.
+	in.Clear()
+	step += 1000 // let every backoff window lapse on the logical clock
+	for i := 0; i < 8; i++ {
+		mgr.Poll()
+	}
+	for _, info := range mgr.Router().InstanceInfos() {
+		if info.State == multi.Draining {
+			rep.failf("recovery: slot %d still draining after faults cleared (live=%d)", info.Slot, info.Live)
+		}
+		if info.State == multi.Active && (info.Live != 0 || info.LiveBytes != 0) {
+			rep.failf("recovery: drained slot %d reports live=%d liveBytes=%d", info.Slot, info.Live, info.LiveBytes)
+		}
+	}
+	for _, layer := range alloc.StackStats(a) {
+		if layer.Stats.Allocs != layer.Stats.Frees {
+			rep.failf("recovery: layer %q unbalanced: %d allocs vs %d frees", layer.Layer, layer.Stats.Allocs, layer.Stats.Frees)
+		}
+	}
+	// Committed bytes must reconcile with the published instance set —
+	// no stranded half-committed windows behind the fault schedule.
+	span := mgr.Router().InstanceSpan()
+	if got, want := st.Mem.Stats().CommittedBytes, uint64(mgr.Router().Instances())*span; got != want {
+		rep.failf("recovery: %d bytes committed for %d published instances (want %d)", got, mgr.Router().Instances(), want)
+	}
+	// The fleet is growable and servable again.
+	if _, err := mgr.Grow(); err != nil {
+		rep.failf("recovery: grow after faults cleared: %v", err)
+	}
+	if off, ok := h.Alloc(geo.MaxSize); !ok {
+		rep.failf("recovery: MaxSize alloc denied on a healthy stack")
+	} else {
+		h.Free(off)
+	}
+	rep.Recovered = len(rep.Violations) == 0
+	return rep
+}

@@ -1,0 +1,59 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	_ "repro/internal/bunch"
+	_ "repro/internal/core"
+)
+
+// TestRunHoldsInvariantsAndRecovers is the in-tree slice of the chaos
+// gate: a few seeds per composite, full invariant + recovery checks.
+// nbbsstress -chaos runs the wide version (25 seeds) in CI.
+func TestRunHoldsInvariantsAndRecovers(t *testing.T) {
+	steps := 4000
+	if testing.Short() {
+		steps = 800
+	}
+	for _, composite := range Composites() {
+		for _, seed := range []uint64{1, 7, 42} {
+			rep := Run(Config{Composite: composite, Seed: seed, Steps: steps})
+			if !rep.OK() {
+				t.Errorf("%s seed %d: violations=%v recovered=%v (schedule %d faults)",
+					composite, seed, rep.Violations, rep.Recovered, len(rep.Schedule))
+				continue
+			}
+			if rep.Injected == 0 {
+				t.Errorf("%s seed %d: schedule injected nothing — the run proved nothing", composite, seed)
+			}
+			if rep.MidDrainKills == 0 {
+				t.Errorf("%s seed %d: the mid-drain kill scenario did not run", composite, seed)
+			}
+		}
+	}
+}
+
+// TestRunIsDeterministic pins the replay contract at harness level: the
+// same seed reproduces the identical run, and replaying a run's recorded
+// schedule reproduces its outcome.
+func TestRunIsDeterministic(t *testing.T) {
+	cfg := Config{Composite: "mapped+elastic", Seed: 99, Steps: 1500}
+	first := Run(cfg)
+	second := Run(cfg)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", first, second)
+	}
+	if !first.OK() {
+		t.Fatalf("seed run failed: %+v", first.Violations)
+	}
+
+	replay := Run(Config{Composite: cfg.Composite, Seed: cfg.Seed, Steps: cfg.Steps, Replay: first.Schedule})
+	if !replay.OK() {
+		t.Fatalf("replay of a passing schedule failed: %+v", replay.Violations)
+	}
+	if replay.Injected != first.Injected || len(replay.Schedule) != len(first.Schedule) {
+		t.Fatalf("replay injected %d faults over %d records, original %d over %d",
+			replay.Injected, len(replay.Schedule), first.Injected, len(first.Schedule))
+	}
+}

@@ -27,6 +27,7 @@
 package elastic
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -41,6 +42,28 @@ const (
 	DefaultHighWater  = 0.75
 	DefaultLowWater   = 0.25
 	DefaultHysteresis = 2
+	// DefaultGrowRetryBase/Max bound the exponential backoff after a
+	// failed grow: first retry after ~1ms, doubling per consecutive
+	// failure up to ~250ms — long enough that a persistently failing
+	// environment sees a handful of syscalls per second instead of one
+	// per Poll, short enough that recovery is near-immediate.
+	DefaultGrowRetryBase = time.Millisecond
+	DefaultGrowRetryMax  = 250 * time.Millisecond
+)
+
+// Typed sentinel errors distinguishing WHY a grow was denied. Both are
+// environmental outcomes, not caller misuse — callers match with
+// errors.Is and degrade (deny the allocation, shed load) rather than
+// crash.
+var (
+	// ErrAtCap: the policy refused — the instance set is at
+	// Config.MaxInstances. Growth resumes when capacity drains.
+	ErrAtCap = errors.New("elastic: at instance cap")
+	// ErrBackpressure: the environment refused recently — a grow attempt
+	// failed (reserve/commit error from the region) and the manager is
+	// holding off until the backoff window elapses. The wrapped chain
+	// also carries the underlying cause.
+	ErrBackpressure = errors.New("elastic: grow backpressure")
 )
 
 // Config is the watermark policy of a capacity manager.
@@ -61,6 +84,13 @@ type Config struct {
 	// or shrink is acted on (0 means DefaultHysteresis); it keeps a
 	// single spike or dip from flapping the instance set.
 	Hysteresis int
+	// GrowRetryBase is the backoff after the first failed grow attempt
+	// (an environmental reserve/commit failure, not the cap), doubled per
+	// consecutive failure with deterministic jitter (0 means
+	// DefaultGrowRetryBase).
+	GrowRetryBase time.Duration
+	// GrowRetryMax caps the grow backoff (0 means DefaultGrowRetryMax).
+	GrowRetryMax time.Duration
 }
 
 func (c Config) withDefaults(initial int) Config {
@@ -79,6 +109,15 @@ func (c Config) withDefaults(initial int) Config {
 	if c.Hysteresis <= 0 {
 		c.Hysteresis = DefaultHysteresis
 	}
+	if c.GrowRetryBase <= 0 {
+		c.GrowRetryBase = DefaultGrowRetryBase
+	}
+	if c.GrowRetryMax < c.GrowRetryBase {
+		c.GrowRetryMax = DefaultGrowRetryMax
+	}
+	if c.GrowRetryMax < c.GrowRetryBase {
+		c.GrowRetryMax = c.GrowRetryBase
+	}
 	return c
 }
 
@@ -91,6 +130,20 @@ type Counters struct {
 	Drains        uint64 // drain phases started
 	Retires       uint64 // slots unpublished after reaching zero live
 	DeniedAtCap   uint64 // grow decisions refused by MaxInstances
+	// GrowFailures counts grow attempts the environment refused (an
+	// AddInstance reserve/commit error) — distinct from DeniedAtCap,
+	// which is the policy refusing.
+	GrowFailures uint64
+	// GrowRetries counts attempts made after at least one failure, i.e.
+	// the backoff window elapsed and the manager tried again.
+	GrowRetries uint64
+	// DeniedBackpressure counts grow decisions suppressed because a
+	// backoff window from an earlier failure was still open — the
+	// mechanism that keeps persistent failure from hot-spinning syscalls.
+	DeniedBackpressure uint64
+	// RetireFailures counts TryRetire calls that errored (decommit
+	// failure); the slot stays draining and a later Poll retries.
+	RetireFailures uint64
 }
 
 // Action reports what one Poll step did.
@@ -108,6 +161,12 @@ type Action struct {
 	Retired []int
 	// DeniedAtCap reports a grow decision refused by MaxInstances.
 	DeniedAtCap bool
+	// DeniedBackpressure reports a grow decision suppressed by the
+	// backoff window of an earlier environmental failure.
+	DeniedBackpressure bool
+	// GrowErr is the environmental cause when a grow attempt failed this
+	// step (or the last recorded cause when DeniedBackpressure).
+	GrowErr error
 }
 
 // DrainHook is called when the manager needs chunks of the global offset
@@ -134,6 +193,18 @@ type Manager struct {
 	counters Counters
 	hooks    []DrainHook
 
+	// Grow-failure backoff state (under mu). growStreak counts
+	// consecutive environmental failures; nextGrowAt gates the next
+	// attempt; lastGrowErr is the cause surfaced while the gate is
+	// closed. clock is injectable (SetClock) so backoff decisions are
+	// deterministic in tests and chaos replays; jitter is a seeded
+	// xorshift state so even the jitter replays.
+	growStreak  int
+	nextGrowAt  time.Time
+	lastGrowErr error
+	clock       func() time.Time
+	jitter      uint64
+
 	bg     sync.WaitGroup
 	stopCh chan struct{}
 }
@@ -154,7 +225,20 @@ func New(inner *multi.Multi, cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("elastic: router starts with %d instances, above the %d cap", n, cfg.MaxInstances)
 	}
 	inner.EnableLiveTracking()
-	return &Manager{inner: inner, cfg: cfg}, nil
+	return &Manager{inner: inner, cfg: cfg, clock: time.Now, jitter: 0x9E3779B97F4A7C15}, nil
+}
+
+// SetClock replaces the manager's time source, which only backoff
+// decisions consult — tests and the chaos harness install a logical
+// clock so grow-retry sequences are deterministic and replayable. A nil
+// now restores the wall clock. Call before traffic.
+func (mgr *Manager) SetClock(now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	mgr.mu.Lock()
+	mgr.clock = now
+	mgr.mu.Unlock()
 }
 
 // Config returns the effective (defaulted) policy.
@@ -231,7 +315,13 @@ func (mgr *Manager) Poll() Action {
 		}
 		mgr.drainRange(info.Slot)
 		done, err := mgr.inner.TryRetire(info.Slot)
-		if err == nil && done {
+		switch {
+		case err != nil:
+			// A decommit failure left the slot published and draining;
+			// count it and let a later Poll retry — retirement is the one
+			// lifecycle step that is naturally idempotent.
+			mgr.counters.RetireFailures++
+		case done:
 			mgr.counters.Retires++
 			act.Retired = append(act.Retired, info.Slot)
 		}
@@ -266,7 +356,8 @@ func (mgr *Manager) Poll() Action {
 
 // grow publishes capacity: a draining slot is re-activated when one
 // exists (its chunks are still ours; cancelling the drain is free),
-// otherwise a fresh instance is built, unless the cap refuses.
+// otherwise a fresh instance is built, unless the cap refuses or a
+// backoff window from an earlier environmental failure is still open.
 // Called with mu held.
 func (mgr *Manager) grow(act *Action) {
 	for _, info := range mgr.inner.InstanceInfos() {
@@ -283,12 +374,49 @@ func (mgr *Manager) grow(act *Action) {
 		act.DeniedAtCap = true
 		return
 	}
-	k, err := mgr.inner.AddInstance()
-	if err != nil {
+	if mgr.growStreak > 0 && mgr.clock().Before(mgr.nextGrowAt) {
+		// The environment refused recently; don't hammer it. Allocation
+		// pressure meanwhile degrades to deny at the current capacity —
+		// the stack keeps serving what it has.
+		mgr.counters.DeniedBackpressure++
+		act.DeniedBackpressure = true
+		act.GrowErr = mgr.lastGrowErr
 		return
 	}
+	if mgr.growStreak > 0 {
+		mgr.counters.GrowRetries++
+	}
+	k, err := mgr.inner.AddInstance()
+	if err != nil {
+		mgr.counters.GrowFailures++
+		mgr.growStreak++
+		mgr.lastGrowErr = err
+		mgr.nextGrowAt = mgr.clock().Add(mgr.backoff())
+		act.GrowErr = err
+		return
+	}
+	mgr.growStreak, mgr.lastGrowErr, mgr.nextGrowAt = 0, nil, time.Time{}
 	mgr.counters.Grows++
 	act.Grew = k
+}
+
+// backoff returns the wait before the next grow attempt: GrowRetryBase
+// doubled per consecutive failure, capped at GrowRetryMax, plus up to
+// +50% deterministic xorshift jitter so a fleet of managers polling in
+// lockstep doesn't retry in lockstep. Called with mu held, growStreak
+// already incremented.
+func (mgr *Manager) backoff() time.Duration {
+	d := mgr.cfg.GrowRetryBase
+	for i := 1; i < mgr.growStreak && d < mgr.cfg.GrowRetryMax; i++ {
+		d *= 2
+	}
+	if d > mgr.cfg.GrowRetryMax {
+		d = mgr.cfg.GrowRetryMax
+	}
+	mgr.jitter ^= mgr.jitter << 13
+	mgr.jitter ^= mgr.jitter >> 7
+	mgr.jitter ^= mgr.jitter << 17
+	return d + time.Duration(mgr.jitter%uint64(d/2+1))
 }
 
 // shrink starts draining the least-utilized active slot, keeping at
@@ -316,14 +444,22 @@ func (mgr *Manager) shrink(act *Action) {
 	act.DrainStarted = victim
 	mgr.drainRange(victim)
 	// An already-empty victim retires in the same step.
-	if done, err := mgr.inner.TryRetire(victim); err == nil && done {
+	done, err := mgr.inner.TryRetire(victim)
+	switch {
+	case err != nil:
+		mgr.counters.RetireFailures++
+	case done:
 		mgr.counters.Retires++
 		act.Retired = append(act.Retired, victim)
 	}
 }
 
 // Grow forces one grow step regardless of watermarks (tests, operator
-// tooling). It returns the slot index published or re-activated.
+// tooling). It returns the slot index published or re-activated; a
+// refusal carries the real cause — errors.Is(err, ErrAtCap) when the
+// policy refused, errors.Is(err, ErrBackpressure) when an earlier
+// environmental failure has the manager backing off (the chain also
+// carries that failure), or the grow attempt's own error.
 func (mgr *Manager) Grow() (int, error) {
 	mgr.mu.Lock()
 	defer mgr.mu.Unlock()
@@ -335,8 +471,16 @@ func (mgr *Manager) Grow() (int, error) {
 		return act.Grew, nil
 	case act.Reactivated >= 0:
 		return act.Reactivated, nil
+	case act.DeniedBackpressure:
+		if act.GrowErr != nil {
+			return -1, fmt.Errorf("elastic: backing off after %d failed grows: %w (last: %w)",
+				mgr.growStreak, ErrBackpressure, act.GrowErr)
+		}
+		return -1, fmt.Errorf("elastic: backing off: %w", ErrBackpressure)
+	case act.GrowErr != nil:
+		return -1, fmt.Errorf("elastic: growing: %w", act.GrowErr)
 	default:
-		return -1, fmt.Errorf("elastic: at the %d-instance cap", mgr.cfg.MaxInstances)
+		return -1, fmt.Errorf("elastic: at the %d-instance cap: %w", mgr.cfg.MaxInstances, ErrAtCap)
 	}
 }
 
@@ -472,6 +616,16 @@ func (mgr *Manager) LayerStats() []alloc.LayerStats {
 			"elastic_retires":       c.Retires,
 			"elastic_denied_at_cap": c.DeniedAtCap,
 		},
+	}
+	if c.GrowFailures > 0 {
+		entry.Extra["elastic_grow_failures"] = c.GrowFailures
+		entry.Extra["elastic_grow_retries"] = c.GrowRetries
+	}
+	if c.DeniedBackpressure > 0 {
+		entry.Extra["elastic_denied_backpressure"] = c.DeniedBackpressure
+	}
+	if c.RetireFailures > 0 {
+		entry.Extra["elastic_retire_failures"] = c.RetireFailures
 	}
 	return append([]alloc.LayerStats{entry}, alloc.StackStats(mgr.inner)...)
 }

@@ -24,12 +24,19 @@
 //	          window off again (PROT_NONE). RSS drops immediately.
 //	recommit  commit after a decommit; the window comes back zero-filled.
 //
-// The platform split lives behind three build-tagged hooks (osReserve /
-// osCommit / osDecommit / osRelease): Linux uses mmap + mprotect +
-// madvise; every other platform falls back to one heap []byte per window
-// with commit/decommit as pure bookkeeping, so the package — and every
-// stack built over it — compiles and behaves identically everywhere,
-// just without the RSS effect (Mapped reports which one you got).
+// The platform split lives behind build-tagged hooks (osReserve /
+// osProtectRW / osAdviseHuge / osTouch / osDecommit / osRelease): Linux
+// uses mmap + mprotect + madvise; every other platform falls back to one
+// heap []byte per window with commit/decommit as pure bookkeeping, so
+// the package — and every stack built over it — compiles and behaves
+// identically everywhere, just without the RSS effect (Mapped reports
+// which one you got).
+//
+// Every hook invocation is routed through an optional fault.Injector
+// (WithFaultInjector): the injector's check runs in the portable Region
+// methods, before the platform hook, so an injected fault schedule
+// behaves identically on Linux and on the fallback. The checks sit on
+// the cold lifecycle paths only — never on Window/Bytes.
 //
 // Windows are intentionally independent mappings rather than one large
 // reservation: the elastic manager grows the instance table at runtime,
@@ -41,6 +48,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"repro/internal/fault"
 )
 
 // HugePageSize is the transparent-huge-page extent MADV_HUGEPAGE can
@@ -65,6 +74,19 @@ type Stats struct {
 	// Recommits counts the subset of Commits that revived a previously
 	// decommitted window — the elastic grow-into-a-hole path.
 	Recommits uint64
+	// HugeFallbacks counts commits whose hugepage advise failed and fell
+	// back to base 4KiB pages — the first rung of the degradation ladder:
+	// the commit still succeeds, only the large-TLB win is lost.
+	HugeFallbacks uint64
+	// BindFailures counts NUMA placements that could not be installed;
+	// best-effort by contract, so the commit proceeds without locality.
+	BindFailures uint64
+	// ReserveFails, CommitFails and DecommitFails count lifecycle
+	// transitions that returned an error to the caller (environmental or
+	// injected). A failed transition leaves the window in its prior state.
+	ReserveFails  uint64
+	CommitFails   uint64
+	DecommitFails uint64
 }
 
 // window is one lifecycle unit of the region.
@@ -90,11 +112,14 @@ type Region struct {
 	winSize uint64
 	huge    bool
 	numa    bool
+	inj     *fault.Injector
 
 	mu   sync.Mutex
 	wins []*window
 
-	commits, decommits, recommits uint64
+	commits, decommits, recommits       uint64
+	hugeFallbacks, bindFails            uint64
+	reserveFails, commitFails, decFails uint64
 }
 
 // Option tunes a Region.
@@ -105,6 +130,12 @@ type Option func(*Region)
 // documented on HugePageSize); smaller windows silently stay on base
 // pages. No-op on non-Linux platforms.
 func WithHugePages() Option { return func(r *Region) { r.huge = true } }
+
+// WithFaultInjector routes every lifecycle syscall through the given
+// injector (nil is valid and injects nothing). The check runs before the
+// platform hook, so schedules behave identically on Linux and on the
+// portable fallback.
+func WithFaultInjector(in *fault.Injector) Option { return func(r *Region) { r.inj = in } }
 
 // New reserves a region of windows equally sized windows of windowSize
 // bytes each. Windows can be added later with Ensure; every window starts
@@ -159,14 +190,28 @@ func (r *Region) Ensure(n int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for len(r.wins) < n {
-		raw, buf, err := osReserve(r.winSize, r.HugePages())
+		raw, buf, err := r.osReserveChecked()
 		if err != nil {
+			r.reserveFails++
 			return fmt.Errorf("mem: reserving window %d (%d bytes): %w", len(r.wins), r.winSize, err)
 		}
 		r.wins = append(r.wins, &window{raw: raw, buf: buf, node: -1})
 	}
 	return nil
 }
+
+// osReserveChecked runs the reserve fault check and then the platform
+// reserve. Called with mu held.
+func (r *Region) osReserveChecked() (raw, buf []byte, err error) {
+	if err := r.inj.Check(fault.Reserve); err != nil {
+		return nil, nil, err
+	}
+	return osReserve(r.winSize, r.HugePages())
+}
+
+// Injector returns the region's fault injector (nil when none was
+// installed) so layers above can surface its counters.
+func (r *Region) Injector() *fault.Injector { return r.inj }
 
 func (r *Region) window(k int) *window {
 	if k < 0 || k >= len(r.wins) {
@@ -185,6 +230,10 @@ func (r *Region) Commit(k int) error {
 	if w.committed {
 		return nil
 	}
+	if err := r.inj.Check(fault.Commit); err != nil {
+		r.commitFails++
+		return fmt.Errorf("mem: committing window %d: %w", k, err)
+	}
 	if r.numa {
 		// Install the placement BEFORE the commit touch: mbind sets the
 		// VMA's policy and the touch loop then first-faults every page
@@ -192,14 +241,34 @@ func (r *Region) Commit(k int) error {
 		// without the syscalls the bind is a no-op but the assignment
 		// still lands in NodeMap.
 		w.node = r.nodeForWindow(k)
-		if len(numaNodeIDs()) > 1 {
-			// Best-effort: a failed bind costs locality, not correctness.
-			_ = osBindNode(w.buf, w.node)
+		// Best-effort: a failed bind costs locality, not correctness. The
+		// injector check runs even on single-node machines so bind-fault
+		// schedules exercise this rung of the ladder portably.
+		if err := r.inj.Check(fault.Bind); err != nil {
+			r.bindFails++
+		} else if len(numaNodeIDs()) > 1 {
+			if err := osBindNode(w.buf, w.node); err != nil {
+				r.bindFails++
+			}
 		}
 	}
-	if err := osCommit(w.buf, r.HugePages()); err != nil {
+	if err := osProtectRW(w.buf); err != nil {
+		r.commitFails++
 		return fmt.Errorf("mem: committing window %d: %w", k, err)
 	}
+	if r.HugePages() {
+		// Degradation ladder, rung one: a failed hugepage advise (THP
+		// disabled, or injected) leaves the window on base 4KiB pages —
+		// counted, never fatal.
+		err := r.inj.Check(fault.Huge)
+		if err == nil {
+			err = osAdviseHuge(w.buf)
+		}
+		if err != nil {
+			r.hugeFallbacks++
+		}
+	}
+	osTouch(w.buf)
 	w.committed = true
 	r.commits++
 	if w.decommitted {
@@ -219,7 +288,14 @@ func (r *Region) Decommit(k int) error {
 	if !w.committed {
 		return nil
 	}
-	if err := osDecommit(w.buf); err != nil {
+	err := r.inj.Check(fault.Decommit)
+	if err == nil {
+		err = osDecommit(w.buf)
+	}
+	if err != nil {
+		// The window stays committed: a failed decommit loses the RSS
+		// return, not the window — the caller retries on a later pass.
+		r.decFails++
 		return fmt.Errorf("mem: decommitting window %d: %w", k, err)
 	}
 	w.committed = false
@@ -285,6 +361,11 @@ func (r *Region) Stats() Stats {
 		Commits:       r.commits,
 		Decommits:     r.decommits,
 		Recommits:     r.recommits,
+		HugeFallbacks: r.hugeFallbacks,
+		BindFailures:  r.bindFails,
+		ReserveFails:  r.reserveFails,
+		CommitFails:   r.commitFails,
+		DecommitFails: r.decFails,
 	}
 	for _, w := range r.wins {
 		if w.committed {

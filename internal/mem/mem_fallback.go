@@ -16,8 +16,14 @@ func osReserve(winSize uint64, huge bool) (raw, buf []byte, err error) {
 	return b, b, nil
 }
 
-// osCommit is bookkeeping: the slice already exists.
-func osCommit(buf []byte, huge bool) error { return nil }
+// osProtectRW is bookkeeping: the slice already exists and is writable.
+func osProtectRW(buf []byte) error { return nil }
+
+// osAdviseHuge is bookkeeping; the fallback has no THP to advise.
+func osAdviseHuge(buf []byte) error { return nil }
+
+// osTouch is bookkeeping: Go already zero-filled the slice.
+func osTouch(buf []byte) {}
 
 // osDecommit zero-fills the window so a later recommit observes the same
 // "fresh window is zero" invariant MADV_DONTNEED gives the Linux backend.

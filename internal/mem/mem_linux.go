@@ -39,23 +39,29 @@ func osReserve(winSize uint64, huge bool) (raw, buf []byte, err error) {
 	return raw, buf, nil
 }
 
-// osCommit opens the window for access and touches one byte per page so
-// the pages are resident when the call returns — committed bytes are
-// meant to reconcile with RSS, not with a lazy first-fault promise.
-func osCommit(buf []byte, huge bool) error {
-	if err := syscall.Mprotect(buf, syscall.PROT_READ|syscall.PROT_WRITE); err != nil {
-		return err
-	}
-	if huge {
-		// Advisory: a failure (kernel built without THP) only loses the
-		// large-TLB win, not correctness.
-		_ = syscall.Madvise(buf, syscall.MADV_HUGEPAGE)
-	}
+// osProtectRW opens the window for access. Nothing else has happened
+// yet when it fails, so a failed commit is all-or-nothing: the window is
+// still fenced, a later retry starts clean.
+func osProtectRW(buf []byte) error {
+	return syscall.Mprotect(buf, syscall.PROT_READ|syscall.PROT_WRITE)
+}
+
+// osAdviseHuge requests THP coalescing. A failure (kernel built without
+// THP, or an injected fault) is the first rung of the degradation
+// ladder: the caller counts it and the window stays on base 4KiB pages.
+func osAdviseHuge(buf []byte) error {
+	return syscall.Madvise(buf, syscall.MADV_HUGEPAGE)
+}
+
+// osTouch faults one byte per page so the pages are resident when the
+// commit returns — committed bytes are meant to reconcile with RSS, not
+// with a lazy first-fault promise. Runs after the hugepage advise so
+// the first faults can materialize 2MiB extents.
+func osTouch(buf []byte) {
 	step := syscall.Getpagesize()
 	for i := 0; i < len(buf); i += step {
 		buf[i] = 0
 	}
-	return nil
 }
 
 // osDecommit gives the pages back (MADV_DONTNEED zero-fills the range and

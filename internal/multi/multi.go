@@ -551,6 +551,18 @@ func (m *Multi) LayerStats() []alloc.LayerStats {
 		entry.Extra["mem_committed"] = ms.CommittedBytes
 		entry.Extra["mem_decommits"] = ms.Decommits
 		entry.Extra["mem_recommits"] = ms.Recommits
+		if ms.HugeFallbacks > 0 {
+			entry.Extra["mem_commit_fallbacks"] = ms.HugeFallbacks
+		}
+		if ms.BindFailures > 0 {
+			entry.Extra["mem_bind_failures"] = ms.BindFailures
+		}
+		if n := ms.ReserveFails + ms.CommitFails + ms.DecommitFails; n > 0 {
+			entry.Extra["mem_lifecycle_failures"] = n
+		}
+		for site, n := range m.region.Injector().Injected() {
+			entry.Extra["fault_"+string(site)] = n
+		}
 	}
 	backend := alloc.LayerStats{
 		Layer: fmt.Sprintf("%s x%d", m.leafName, m.Instances()),
@@ -570,10 +582,6 @@ func (m *Multi) LayerStats() []alloc.LayerStats {
 func (m *Multi) AddInstance() (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s, err := m.buildSlot()
-	if err != nil {
-		return 0, fmt.Errorf("multi: adding instance: %w", err)
-	}
 	old := m.tab.Load()
 	slots := append([]*slot(nil), old.slots...)
 	k := -1
@@ -590,7 +598,10 @@ func (m *Multi) AddInstance() (int, error) {
 	// Publication order, extended to memory: the slot's window is
 	// committed (a recommit when k is a refilled hole) before the table
 	// carrying the slot is stored, so any handle that can route to the
-	// instance finds its memory resident.
+	// instance finds its memory resident. Memory goes FIRST so the common
+	// environmental failure (reserve/commit ENOMEM) aborts before any
+	// instance exists — nothing to unwind, the table is untouched and the
+	// widened slots copy is simply dropped.
 	if m.region != nil {
 		if err := m.region.Ensure(k + 1); err != nil {
 			return 0, fmt.Errorf("multi: reserving window %d: %w", k, err)
@@ -598,6 +609,17 @@ func (m *Multi) AddInstance() (int, error) {
 		if err := m.region.Commit(k); err != nil {
 			return 0, fmt.Errorf("multi: committing window %d: %w", k, err)
 		}
+	}
+	s, err := m.buildSlot()
+	if err != nil {
+		// Roll the commit back so no half-committed window leaks behind
+		// the unpublished slot. Best-effort: if the decommit also fails
+		// the window merely stays resident and a later grow into this
+		// hole recommits it idempotently.
+		if m.region != nil {
+			_ = m.region.Decommit(k)
+		}
+		return 0, fmt.Errorf("multi: adding instance: %w", err)
 	}
 	slots[k] = s
 	m.tab.Store(&table{slots: slots})
@@ -688,18 +710,22 @@ func (m *Multi) TryRetire(k int) (bool, error) {
 	if s.live.Load() != 0 {
 		return false, nil
 	}
+	// Decommit BEFORE unpublishing. It is safe this early: the draining
+	// state already blocks new allocations and live==0 proved no chunk
+	// references the window (the draining→zero-live fence above), so
+	// nothing can touch the pages between here and the table store. And
+	// it makes decommit failure recoverable: the slot stays published and
+	// draining, the window stays committed, and the next retirement pass
+	// simply retries — instead of the old unpublished-but-still-resident
+	// half state that nothing would ever revisit.
+	if m.region != nil {
+		if err := m.region.Decommit(k); err != nil {
+			return false, fmt.Errorf("multi: retiring slot %d: %w", k, err)
+		}
+	}
 	slots := append([]*slot(nil), t.slots...)
 	slots[k] = nil
 	m.tab.Store(&table{slots: slots})
-	// Decommit after unpublishing: live==0 proved no chunk references the
-	// window (the draining→zero-live fence above), and the hole in the
-	// table keeps any new allocation out of it, so giving the pages back
-	// here is the moment the shrink becomes visible to the OS.
-	if m.region != nil {
-		if err := m.region.Decommit(k); err != nil {
-			return true, fmt.Errorf("multi: retired slot %d but decommit failed: %w", k, err)
-		}
-	}
 	return true, nil
 }
 

@@ -28,6 +28,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/arena"
 	"repro/internal/elastic"
+	"repro/internal/fault"
 	"repro/internal/frontend"
 	"repro/internal/mem"
 	"repro/internal/multi"
@@ -107,6 +108,11 @@ type Spec struct {
 	// HugePages requests MADV_HUGEPAGE for mapped windows; it only takes
 	// effect when the per-instance span is a multiple of mem.HugePageSize.
 	HugePages bool
+	// Faults routes the mapped region's lifecycle syscalls through a
+	// fault injector (requires Mapped; nil injects nothing). Tests and
+	// the chaos harness schedule failures on it after the build — the
+	// build itself needs the initial commits to succeed.
+	Faults *fault.Injector
 }
 
 // Stack is a built layer stack. Top serves the composed contract; the
@@ -176,6 +182,9 @@ func Build(s Spec) (*Stack, error) {
 	if s.Sharded && s.Instances < 1 {
 		return nil, fmt.Errorf("stack: sharding requires the multi router (Instances >= 1)")
 	}
+	if s.Faults != nil && !s.Mapped {
+		return nil, fmt.Errorf("stack: fault injection requires mapped memory (Mapped) — the injector shims the region's lifecycle syscalls")
+	}
 	if s.Instances >= 1 {
 		m, err := multi.New(s.Variant, s.Instances, s.Per, s.Policy)
 		if err != nil {
@@ -190,6 +199,9 @@ func Build(s Spec) (*Stack, error) {
 				// Sharded stacks place each window on the node of the CPU
 				// whose shard allocates from it (portable no-op elsewhere).
 				opts = append(opts, mem.WithNUMAPolicy())
+			}
+			if s.Faults != nil {
+				opts = append(opts, mem.WithFaultInjector(s.Faults))
 			}
 			r, err := mem.New(m.InstanceSpan(), m.Slots(), opts...)
 			if err != nil {

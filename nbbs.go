@@ -52,6 +52,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/elastic"
+	"repro/internal/fault"
 	"repro/internal/frontend"
 	"repro/internal/geometry"
 	"repro/internal/mem"
@@ -155,6 +156,7 @@ type options struct {
 	hugePages   bool
 	sharded     bool
 	shards      int
+	faults      *fault.Injector
 }
 
 // WithVariant selects the allocator implementation (default Variant4Lvl).
@@ -286,6 +288,37 @@ func WithSlab(cutoff uint64) Option {
 // replay and regression debugging.
 func WithTrace(t *Trace) Option { return func(o *options) { o.record = t } }
 
+// FaultInjector is a deterministic syscall-fault source for the mapped
+// backing region; build schedules with the internal/fault constructors
+// re-exported here (FailNth, FailAlways, FailRange, FailProb) and
+// install one with WithFaultInjection. Injected faults are recorded so
+// a failing schedule replays exactly (internal/fault).
+type FaultInjector = fault.Injector
+
+// Fault rule constructors and the replayable schedule record,
+// re-exported for chaos tooling built on the public facade.
+var (
+	NewFaultInjector = fault.New
+	ReplayFaults     = fault.Replay
+)
+
+// Typed capacity-refusal sentinels of the elastic manager, re-exported
+// so callers can errors.Is on ElasticManager.Grow failures: ErrAtCap is
+// the policy refusing at MaxInstances, ErrBackpressure is the manager
+// holding off after an environmental grow failure (the wrapped chain
+// carries the underlying cause).
+var (
+	ErrAtCap        = elastic.ErrAtCap
+	ErrBackpressure = elastic.ErrBackpressure
+)
+
+// WithFaultInjection routes the mapped region's lifecycle syscalls
+// (reserve/commit/hugepage-advise/bind/decommit) through a
+// deterministic fault injector — the testing hook behind the stack's
+// graceful-degradation ladder (see DESIGN.md, "Failure semantics").
+// Requires WithMappedMemory. A nil injector injects nothing.
+func WithFaultInjection(in *FaultInjector) Option { return func(o *options) { o.faults = in } }
+
 // WithMaterializedRegion backs the managed region with real memory so
 // AllocBytes/Bytes can hand out slices. Composes with WithInstances: the
 // arena keeps one sub-region per instance behind the global offset space.
@@ -311,6 +344,7 @@ func build(cfg Config, o options) (*Buddy, error) {
 		HugePages:     o.hugePages,
 		Sharded:       o.sharded,
 		Shards:        o.shards,
+		Faults:        o.faults,
 	})
 	if err != nil {
 		return nil, err
