@@ -16,6 +16,13 @@
 // pct percent is named, and the exit status is 1 — how CI turns the
 // trajectory from report-only into a regression tripwire (the threshold
 // absorbs CI-box noise; 30% is the starting point).
+//
+// -p99-fail-over <pct> gates the latency percentiles the same way, under
+// its own (looser) threshold: a percentile (p50/p99/p999) carried by
+// both reports that grew by more than pct percent names the cell and the
+// regressed percentile. Cells where either side lacks latency data (a v1
+// baseline, a -latency=false run) are skipped — the 0-sentinel pairing
+// rule — so throughput-only baselines keep gating on throughput alone.
 package main
 
 import (
@@ -32,14 +39,15 @@ func main() {
 		fresh    = flag.String("fresh", "", "freshly measured report (nbbsbench -json output)")
 		markdown = flag.Bool("md", false, "emit a GitHub-flavoured markdown table")
 		failOver = flag.Float64("fail-over", 0, "exit non-zero when any cell present in both reports regressed by more than this percent (0 = report-only)")
+		p99Over  = flag.Float64("p99-fail-over", 0, "exit non-zero when any latency percentile carried by both reports grew by more than this percent (0 = report-only)")
 	)
 	flag.Parse()
 	if *baseline == "" || *fresh == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: both -baseline and -fresh are required")
 		os.Exit(2)
 	}
-	if *failOver < 0 {
-		fmt.Fprintln(os.Stderr, "benchdiff: -fail-over must be non-negative")
+	if *failOver < 0 || *p99Over < 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -fail-over and -p99-fail-over must be non-negative")
 		os.Exit(2)
 	}
 	base, err := harness.LoadReport(*baseline)
@@ -60,25 +68,46 @@ func main() {
 	deltas := harness.DiffReports(base, fr)
 	harness.WriteDiff(os.Stdout, baseLabel, freshLabel, deltas, *markdown)
 
-	if *failOver == 0 {
+	if *failOver == 0 && *p99Over == 0 {
 		return
 	}
-	var offenders []harness.CellDelta
+	// Offender lines go to stdout so a `| tee -a $GITHUB_STEP_SUMMARY`
+	// names them in the step summary, not just the log.
+	var offenders []string
 	for _, d := range deltas {
-		if d.In == "both" && d.DeltaPct() < -*failOver {
-			offenders = append(offenders, d)
+		if d.In != "both" {
+			continue
+		}
+		if *failOver > 0 && d.DeltaPct() < -*failOver {
+			offenders = append(offenders, fmt.Sprintf("%s/%s bytes=%d threads=%d: %.2f -> %.2f Mops/s (%+.1f%%)",
+				d.Workload, d.Allocator, d.Bytes, d.Threads, d.BaseOps/1e6, d.FreshOps/1e6, d.DeltaPct()))
+		}
+		if *p99Over > 0 {
+			// Each regressed percentile is named: a p999-only blowup is a
+			// different bug than a p50 shift, and the line should say which.
+			for _, pct := range []struct {
+				name        string
+				base, fresh uint64
+			}{
+				{"p50", d.BaseP50, d.FreshP50},
+				{"p99", d.BaseP99, d.FreshP99},
+				{"p999", d.BaseP999, d.FreshP999},
+			} {
+				if pd, ok := harness.PctDeltaPct(pct.base, pct.fresh); ok && pd > *p99Over {
+					offenders = append(offenders, fmt.Sprintf("%s/%s bytes=%d threads=%d: %s %dns -> %dns (%+.1f%%)",
+						d.Workload, d.Allocator, d.Bytes, d.Threads, pct.name, pct.base, pct.fresh, pd))
+				}
+			}
 		}
 	}
 	if len(offenders) == 0 {
-		fmt.Printf("\nbenchdiff: gate passed — no cell regressed beyond %.0f%%\n", *failOver)
+		fmt.Printf("\nbenchdiff: gate passed — no regression beyond the thresholds (throughput %.0f%%, percentiles %.0f%%)\n",
+			*failOver, *p99Over)
 		return
 	}
-	// Offenders go to stdout so a `| tee -a $GITHUB_STEP_SUMMARY` names
-	// them in the step summary, not just the log.
-	fmt.Printf("\nbenchdiff: FAIL — %d cell(s) regressed beyond the %.0f%% threshold:\n\n", len(offenders), *failOver)
-	for _, d := range offenders {
-		line := fmt.Sprintf("%s/%s bytes=%d threads=%d: %.2f -> %.2f Mops/s (%+.1f%%)",
-			d.Workload, d.Allocator, d.Bytes, d.Threads, d.BaseOps/1e6, d.FreshOps/1e6, d.DeltaPct())
+	fmt.Printf("\nbenchdiff: FAIL — %d regression(s) beyond the thresholds (throughput %.0f%%, percentiles %.0f%%):\n\n",
+		len(offenders), *failOver, *p99Over)
+	for _, line := range offenders {
 		if *markdown {
 			fmt.Printf("- **%s**\n", line)
 		} else {

@@ -57,6 +57,7 @@ func main() {
 		jsonOut      = flag.Bool("json", false, "emit the machine-readable JSON report (BENCH trajectory format)")
 		label        = flag.String("label", "", "label recorded in the JSON report (e.g. pr2)")
 		kops         = flag.Bool("kops", false, "report KOps/s instead of seconds")
+		latency      = flag.Bool("latency", true, "record sampled per-op latency percentiles (p50/p99/p999) per cell; -latency=false measures throughput with no telemetry probe at all")
 		quiet        = flag.Bool("q", false, "suppress per-cell progress lines")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
@@ -128,6 +129,7 @@ func main() {
 		Scale:      *scale,
 		Reps:       *reps,
 		Seed:       *seed,
+		Latency:    *latency,
 	}
 	progress := os.Stderr
 	if *quiet {

@@ -20,6 +20,8 @@
 //	    # watermark config, per-instance utilization, lifecycle counters
 //	nbbsinfo -instances 2 -elastic -elastic-max 4 -mem -demo-ops 400000
 //	    # mapped windows: per-slot commit map and commit/decommit totals
+//	nbbsinfo -instances 2 -elastic -mem -latency -events -demo-ops 400000
+//	    # per-layer latency percentile table and the flight-recorder dump
 package main
 
 import (
@@ -56,6 +58,8 @@ func main() {
 		elasticMax  = flag.Int("elastic-max", 0, "elastic instance cap (0 = twice the initial instances)")
 		demoOps     = flag.Int("demo-ops", 0, "drive this many ops through the stack and report per-layer stats")
 		workers     = flag.Int("workers", 8, "worker goroutines for -demo-ops")
+		latency     = flag.Bool("latency", false, "enable telemetry and print the per-layer latency percentile table (with -demo-ops)")
+		events      = flag.Bool("events", false, "enable telemetry and dump the flight-recorder event ring (with -demo-ops)")
 	)
 	flag.Parse()
 
@@ -124,6 +128,8 @@ func main() {
 			elasticMax:  *elasticMax,
 			ops:         *demoOps,
 			workers:     *workers,
+			latency:     *latency,
+			events:      *events,
 		})
 	}
 }
@@ -146,6 +152,8 @@ type stackConfig struct {
 	elasticMax  int
 	ops         int
 	workers     int
+	latency     bool
+	events      bool
 }
 
 // demo builds the requested layer stack, drives a short mixed-size
@@ -178,6 +186,9 @@ func demo(sc stackConfig) {
 	}
 	if sc.materialize {
 		opts = append(opts, nbbs.WithMaterializedRegion())
+	}
+	if sc.latency || sc.events {
+		opts = append(opts, nbbs.WithTelemetry(nbbs.TelemetryConfig{}))
 	}
 	b, err := nbbs.New(sc.cfg, opts...)
 	if err != nil {
@@ -248,6 +259,27 @@ func demo(sc stackConfig) {
 
 	if mgr := b.Elastic(); mgr != nil {
 		mgr.Poll() // the stack is drained: complete any pending retires
+	}
+	if reg := b.Telemetry(); reg != nil && sc.latency {
+		fmt.Printf("\nlatency percentiles (sampled, top-down, ns):\n")
+		fmt.Printf("  %-12s %-12s %10s %8s %8s %8s\n", "boundary", "op", "samples", "p50", "p99", "p999")
+		for _, ll := range reg.Latencies() {
+			for _, op := range ll.Ops {
+				if op.Samples == 0 {
+					continue
+				}
+				fmt.Printf("  %-12s %-12s %10d %8d %8d %8d\n",
+					ll.Layer, op.Op, op.Samples, op.P50, op.P99, op.P999)
+			}
+		}
+	}
+	if reg := b.Telemetry(); reg != nil && sc.events {
+		ev := reg.Ring().Events()
+		fmt.Printf("\nflight recorder: %d event(s) retained of %d published (oldest first):\n",
+			len(ev), reg.Ring().Published())
+		for _, e := range ev {
+			fmt.Printf("  step=%-8d %-8s %-16s a=%d b=%d\n", e.Step, e.Source, e.Event, e.A, e.B)
+		}
 	}
 	if sl := b.Slab(); sl != nil {
 		fmt.Printf("\nsize-class slab: cutoff=%d run=%d bytes, frag=%d bytes\n",

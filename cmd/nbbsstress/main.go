@@ -175,6 +175,14 @@ func runChaos(seeds int, baseSeed uint64, ops int, prob float64, replayPath stri
 			fmt.Printf("chaos %-22s seed=%-6d %8.2fs  %-4s  ops=%d denied=%d injected=%d mid-drain-kills=%d\n",
 				composite, seed, time.Since(start).Seconds(), status,
 				rep.Ops, rep.Denied, rep.Injected, rep.MidDrainKills)
+			if replayPath != "" {
+				// A replay is a post-mortem: dump the flight recorder so the
+				// lifecycle leading to the failure reads straight off stdout.
+				fmt.Printf("flight recorder (%d events, oldest first):\n", len(rep.Events))
+				for _, e := range rep.Events {
+					fmt.Printf("  step=%-8d %-8s %-16s a=%d b=%d\n", e.Step, e.Source, e.Event, e.A, e.B)
+				}
+			}
 		}
 	}
 	if failures > 0 {

@@ -11,13 +11,24 @@
 // WithInstances): every NewHandle is a caching handle, so most requests
 // never touch the back-end at all; the run reports each layer's share of
 // the traffic.
+//
+// Telemetry is always on — the server demonstrates the observability
+// story end to end: sampled latency percentiles per layer boundary are
+// printed at the end, and with -metrics the same registry is served live
+// over HTTP as Prometheus text (/metrics) and expvar (/debug/vars):
+//
+//	webserver -metrics :9100 -duration 30s &
+//	curl -s localhost:9100/metrics | grep nbbs_latency_p99
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,10 +43,15 @@ func main() {
 		conns     = flag.Int("conns", 2048, "simultaneous connections (shared table slots)")
 		variant   = flag.String("variant", nbbs.Variant4Lvl, "allocator variant")
 		instances = flag.Int("instances", 1, "back-end instances (NUMA-style router)")
+		metrics   = flag.String("metrics", "", `serve Prometheus text (/metrics) and expvar (/debug/vars) on this address during the run, e.g. ":9100"; empty = no listener`)
 	)
 	flag.Parse()
 
-	opts := []nbbs.Option{nbbs.WithVariant(*variant), nbbs.WithFrontend(32)}
+	opts := []nbbs.Option{
+		nbbs.WithVariant(*variant),
+		nbbs.WithFrontend(32),
+		nbbs.WithTelemetry(nbbs.TelemetryConfig{}),
+	}
 	if *instances > 1 {
 		opts = append(opts, nbbs.WithInstances(*instances))
 	}
@@ -46,6 +62,20 @@ func main() {
 	}, opts...)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *metrics != "" {
+		reg := b.Telemetry()
+		reg.PublishExpvar("nbbs")
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics: http://%s/metrics (Prometheus text), /debug/vars (expvar)\n", ln.Addr())
+		go http.Serve(ln, mux)
 	}
 
 	// Response-size mix: mostly small API responses, some page-sized, the
@@ -104,5 +134,15 @@ func main() {
 	for _, layer := range b.LayerStats() {
 		fmt.Printf("  %-24s allocs=%-10d frees=%-10d extra=%v\n",
 			layer.Layer, layer.Stats.Allocs, layer.Stats.Frees, layer.Extra)
+	}
+	fmt.Printf("latency percentiles (sampled, ns):\n")
+	for _, ll := range b.Telemetry().Latencies() {
+		for _, op := range ll.Ops {
+			if op.Samples == 0 {
+				continue
+			}
+			fmt.Printf("  %-12s %-12s samples=%-8d p50=%-6d p99=%-6d p999=%d\n",
+				ll.Layer, op.Op, op.Samples, op.P50, op.P99, op.P999)
+		}
 	}
 }

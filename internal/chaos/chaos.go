@@ -31,6 +31,7 @@ import (
 	"repro/internal/multi"
 	"repro/internal/slab"
 	"repro/internal/stack"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes one chaos run.
@@ -80,6 +81,13 @@ type Report struct {
 	// Denied counts allocation attempts the degraded stack refused —
 	// the deny rung of the ladder, a legitimate outcome, never an error.
 	Denied uint64 `json:"denied"`
+	// Events is the flight-recorder dump: the last lifecycle events
+	// (elastic transitions, injected faults, degradation rungs, slab
+	// crossings) before the run ended, in logical-step order. Two
+	// same-seed runs record identical dumps — the ring is single-sharded
+	// here and stamped by a logical counter, so the dump is part of the
+	// replayable incident, not wall-clock noise.
+	Events []telemetry.Event `json:"events,omitempty"`
 }
 
 // OK reports whether the run held every invariant and recovered.
@@ -93,7 +101,7 @@ func (r *Report) failf(format string, args ...any) {
 // into its region. The injector is armed AFTER the build: construction
 // commits the initial windows, and the contract under test is runtime
 // degradation, not construction failure.
-func buildComposite(label string, in *fault.Injector) (*stack.Stack, error) {
+func buildComposite(label string, in *fault.Injector, reg *telemetry.Registry) (*stack.Stack, error) {
 	per := alloc.Config{Total: 1 << 16, MinSize: 64, MaxSize: 1 << 14}
 	spec := stack.Spec{
 		Variant:   "4lvl-nb",
@@ -102,6 +110,7 @@ func buildComposite(label string, in *fault.Injector) (*stack.Stack, error) {
 		Elastic:   &elastic.Config{MinInstances: 1, MaxInstances: 4, Hysteresis: 1},
 		Mapped:    true,
 		Faults:    in,
+		Telemetry: reg,
 	}
 	switch label {
 	case "mapped+elastic":
@@ -142,8 +151,13 @@ func Run(cfg Config) (rep Report) {
 	}
 	rep = Report{Composite: cfg.Composite, Seed: cfg.Seed, Steps: cfg.Steps, Prob: cfg.Prob}
 
+	// One ring shard: the workload is single-goroutine and the events are
+	// stamped by the logical step counter, so the recorded dump is
+	// deterministic per seed — overwrite-oldest eviction must not depend
+	// on which P the goroutine happened to run on.
+	reg := telemetry.New(telemetry.Config{RingShards: 1})
 	in := fault.New(cfg.Seed)
-	st, err := buildComposite(cfg.Composite, in)
+	st, err := buildComposite(cfg.Composite, in, reg)
 	if err != nil {
 		rep.failf("building %s: %v", cfg.Composite, err)
 		return rep
@@ -161,6 +175,7 @@ func Run(cfg Config) (rep Report) {
 	defer func() {
 		rep.Schedule = in.Record()
 		rep.Injected = in.InjectedTotal()
+		rep.Events = reg.Ring().Events()
 		if p := recover(); p != nil {
 			rep.failf("panic under fault schedule: %v", p)
 			rep.Recovered = false

@@ -57,3 +57,25 @@ func TestRunIsDeterministic(t *testing.T) {
 			replay.Injected, len(replay.Schedule), first.Injected, len(first.Schedule))
 	}
 }
+
+// TestFlightRecorderDeterministic pins the embedded flight-recorder dump
+// into the replay contract: the chaos harness runs its ring single-
+// sharded with logical-step timestamps, so two same-seed runs record the
+// identical event sequence — the property that makes an incident file's
+// event trail trustworthy evidence rather than a racy approximation.
+func TestFlightRecorderDeterministic(t *testing.T) {
+	cfg := Config{Composite: "mapped+elastic", Seed: 7, Steps: 2000}
+	first := Run(cfg)
+	second := Run(cfg)
+	if len(first.Events) == 0 {
+		t.Fatal("chaos run recorded no flight-recorder events — the sinks are unwired")
+	}
+	if !reflect.DeepEqual(first.Events, second.Events) {
+		t.Fatalf("same seed recorded different event sequences:\n%+v\n%+v", first.Events, second.Events)
+	}
+	for i := 1; i < len(first.Events); i++ {
+		if first.Events[i].Step <= first.Events[i-1].Step {
+			t.Fatalf("event steps not strictly increasing at index %d: %+v", i, first.Events[i-1:i+1])
+		}
+	}
+}

@@ -205,6 +205,12 @@ type Manager struct {
 	clock       func() time.Time
 	jitter      uint64
 
+	// sink, when non-nil, receives one call per lifecycle transition for
+	// the telemetry flight recorder (under mu, so events are ordered like
+	// the transitions they describe). Operand a is the slot index, b the
+	// failure streak where one exists.
+	sink func(event string, a, b uint64)
+
 	bg     sync.WaitGroup
 	stopCh chan struct{}
 }
@@ -239,6 +245,23 @@ func (mgr *Manager) SetClock(now func() time.Time) {
 	mgr.mu.Lock()
 	mgr.clock = now
 	mgr.mu.Unlock()
+}
+
+// SetEventSink installs the flight-recorder publish hook the telemetry
+// layer uses to capture the lifecycle (grow/drain/retire/reactivate and
+// the deny/backoff rungs). Install during stack construction, before
+// traffic; nil uninstalls.
+func (mgr *Manager) SetEventSink(fn func(event string, a, b uint64)) {
+	mgr.mu.Lock()
+	mgr.sink = fn
+	mgr.mu.Unlock()
+}
+
+// emit publishes a lifecycle event. Called with mu held; nil-safe.
+func (mgr *Manager) emit(event string, a, b uint64) {
+	if mgr.sink != nil {
+		mgr.sink(event, a, b)
+	}
 }
 
 // Config returns the effective (defaulted) policy.
@@ -321,9 +344,11 @@ func (mgr *Manager) Poll() Action {
 			// count it and let a later Poll retry — retirement is the one
 			// lifecycle step that is naturally idempotent.
 			mgr.counters.RetireFailures++
+			mgr.emit("retire-fail", uint64(info.Slot), 0)
 		case done:
 			mgr.counters.Retires++
 			act.Retired = append(act.Retired, info.Slot)
+			mgr.emit("retire", uint64(info.Slot), 0)
 		}
 	}
 
@@ -365,6 +390,7 @@ func (mgr *Manager) grow(act *Action) {
 			if err := mgr.inner.Reactivate(info.Slot); err == nil {
 				mgr.counters.Reactivations++
 				act.Reactivated = info.Slot
+				mgr.emit("reactivate", uint64(info.Slot), 0)
 				return
 			}
 		}
@@ -372,6 +398,7 @@ func (mgr *Manager) grow(act *Action) {
 	if mgr.inner.Instances() >= mgr.cfg.MaxInstances {
 		mgr.counters.DeniedAtCap++
 		act.DeniedAtCap = true
+		mgr.emit("deny-cap", uint64(mgr.cfg.MaxInstances), 0)
 		return
 	}
 	if mgr.growStreak > 0 && mgr.clock().Before(mgr.nextGrowAt) {
@@ -381,6 +408,7 @@ func (mgr *Manager) grow(act *Action) {
 		mgr.counters.DeniedBackpressure++
 		act.DeniedBackpressure = true
 		act.GrowErr = mgr.lastGrowErr
+		mgr.emit("deny-backpressure", uint64(mgr.growStreak), 0)
 		return
 	}
 	if mgr.growStreak > 0 {
@@ -393,11 +421,13 @@ func (mgr *Manager) grow(act *Action) {
 		mgr.lastGrowErr = err
 		mgr.nextGrowAt = mgr.clock().Add(mgr.backoff())
 		act.GrowErr = err
+		mgr.emit("grow-fail", uint64(mgr.growStreak), 0)
 		return
 	}
 	mgr.growStreak, mgr.lastGrowErr, mgr.nextGrowAt = 0, nil, time.Time{}
 	mgr.counters.Grows++
 	act.Grew = k
+	mgr.emit("grow", uint64(k), 0)
 }
 
 // backoff returns the wait before the next grow attempt: GrowRetryBase
@@ -442,15 +472,18 @@ func (mgr *Manager) shrink(act *Action) {
 	}
 	mgr.counters.Drains++
 	act.DrainStarted = victim
+	mgr.emit("drain", uint64(victim), 0)
 	mgr.drainRange(victim)
 	// An already-empty victim retires in the same step.
 	done, err := mgr.inner.TryRetire(victim)
 	switch {
 	case err != nil:
 		mgr.counters.RetireFailures++
+		mgr.emit("retire-fail", uint64(victim), 0)
 	case done:
 		mgr.counters.Retires++
 		act.Retired = append(act.Retired, victim)
+		mgr.emit("retire", uint64(victim), 0)
 	}
 }
 

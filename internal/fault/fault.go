@@ -152,6 +152,12 @@ type Injector struct {
 	calls    map[Site]uint64
 	injected map[Site]uint64
 	record   []Fault
+
+	// sink, when non-nil, receives one call per injected fault for the
+	// telemetry flight recorder: event is the site name, a the 1-based
+	// call index. Invoked with mu held, in injection order, so the ring's
+	// logical steps match the record's order exactly.
+	sink func(event string, a, b uint64)
 }
 
 // New builds an injector with the given seed (for probabilistic rules)
@@ -209,7 +215,22 @@ func (in *Injector) Check(site Site) error {
 func (in *Injector) fail(site Site, n uint64, err error) error {
 	in.injected[site]++
 	in.record = append(in.record, Fault{Site: site, N: n, Err: err.Error()})
+	if in.sink != nil {
+		in.sink(string(site), n, 0)
+	}
 	return err
+}
+
+// SetEventSink installs the flight-recorder publish hook: every
+// injected fault is published as (site, call index). Nil-safe on a nil
+// injector; nil uninstalls.
+func (in *Injector) SetEventSink(fn func(event string, a, b uint64)) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.sink = fn
+	in.mu.Unlock()
 }
 
 // Set replaces the schedule; call counters and the record persist, so

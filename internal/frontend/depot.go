@@ -22,6 +22,27 @@ type Depot struct {
 	empty [][]uint64
 
 	stats DepotStats
+
+	// sink, when non-nil, receives one call per batched back-end crossing
+	// (refill, capacity drain, drain-range eviction) for the telemetry
+	// flight recorder (a = class index where known, b = chunks moved).
+	// Exchange hits stay unpublished — they are the O(1) steady state.
+	sink func(event string, a, b uint64)
+}
+
+// SetEventSink installs the flight-recorder publish hook for back-end
+// crossings. Install before traffic; nil uninstalls.
+func (d *Depot) SetEventSink(fn func(event string, a, b uint64)) {
+	d.mu.Lock()
+	d.sink = fn
+	d.mu.Unlock()
+}
+
+// emit publishes a crossing event. Called with mu held; nil-safe.
+func (d *Depot) emit(event string, a, b uint64) {
+	if d.sink != nil {
+		d.sink(event, a, b)
+	}
 }
 
 // DefaultDepotCapacity is the per-class bound of retained full magazines.
@@ -75,6 +96,7 @@ func (d *Depot) ExchangeEmpty(cls int, full []uint64) ([]uint64, bool) {
 	if len(d.full[cls]) >= d.cap {
 		d.stats.Drains++
 		d.stats.DrainedChunks += uint64(len(full))
+		d.emit("drain", uint64(cls), uint64(len(full)))
 		return nil, false
 	}
 	d.full[cls] = append(d.full[cls], full)
@@ -93,6 +115,7 @@ func (d *Depot) noteRefill(chunks int) {
 	d.mu.Lock()
 	d.stats.Refills++
 	d.stats.RefilledChunks += uint64(chunks)
+	d.emit("refill", 0, uint64(chunks))
 	d.mu.Unlock()
 }
 
@@ -121,6 +144,7 @@ func (d *Depot) DrainRange(lo, hi uint64) [][]uint64 {
 				out = append(out, mag)
 				d.stats.Drains++
 				d.stats.DrainedChunks += uint64(len(mag))
+				d.emit("drain-range", uint64(cls), uint64(len(mag)))
 			} else {
 				kept = append(kept, mag)
 			}

@@ -129,6 +129,15 @@ func (a *Allocator) Name() string {
 // Depot exposes the shared magazine depot (nil without WithDepot).
 func (a *Allocator) Depot() *Depot { return a.depot }
 
+// SetEventSink installs the flight-recorder publish hook on the depot's
+// back-end crossings (refill/drain). A no-op without WithDepot — the
+// depot-less spill path has no batched crossings worth recording.
+func (a *Allocator) SetEventSink(fn func(event string, a, b uint64)) {
+	if a.depot != nil {
+		a.depot.SetEventSink(fn)
+	}
+}
+
 // Geometry implements alloc.Allocator.
 func (a *Allocator) Geometry() geometry.Geometry { return a.geo }
 

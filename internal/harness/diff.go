@@ -35,6 +35,21 @@ type CellDelta struct {
 	BaseOps  float64
 	FreshOps float64
 	In       string // "both", "baseline-only", "fresh-only"
+	// Latency percentile pairs (ns); 0 on a side whose report carried no
+	// latency data for the cell (a v1 baseline, a -latency=false run).
+	// Percentile deltas are only meaningful when both sides are non-zero.
+	BaseP50, FreshP50   uint64
+	BaseP99, FreshP99   uint64
+	BaseP999, FreshP999 uint64
+}
+
+// PctDeltaPct returns the fresh-over-baseline change of one percentile
+// pair in percent, and whether both sides carried the percentile.
+func PctDeltaPct(base, fresh uint64) (float64, bool) {
+	if base == 0 || fresh == 0 {
+		return 0, false
+	}
+	return (float64(fresh) - float64(base)) / float64(base) * 100, true
 }
 
 // DeltaPct returns the fresh-over-baseline throughput change in percent;
@@ -68,9 +83,11 @@ func DiffReports(base, fresh JSONReport) []CellDelta {
 		d := CellDelta{
 			Workload: b.Workload, Allocator: b.Allocator, Bytes: b.Bytes, Threads: b.Threads,
 			Procs: b.Procs, SlabCutoff: b.SlabCutoff, BaseOps: b.OpsPerSec, In: "baseline-only",
+			BaseP50: b.P50, BaseP99: b.P99, BaseP999: b.P999,
 		}
 		if f, ok := freshBy[k]; ok {
 			d.FreshOps = f.OpsPerSec
+			d.FreshP50, d.FreshP99, d.FreshP999 = f.P50, f.P99, f.P999
 			d.In = "both"
 		}
 		out = append(out, d)
@@ -82,6 +99,7 @@ func DiffReports(base, fresh JSONReport) []CellDelta {
 			extra = append(extra, CellDelta{
 				Workload: f.Workload, Allocator: f.Allocator, Bytes: f.Bytes, Threads: f.Threads,
 				Procs: f.Procs, SlabCutoff: f.SlabCutoff, FreshOps: f.OpsPerSec, In: "fresh-only",
+				FreshP50: f.P50, FreshP99: f.P99, FreshP999: f.P999,
 			})
 		}
 	}
@@ -107,11 +125,13 @@ func WriteDiff(w io.Writer, baseLabel, freshLabel string, deltas []CellDelta, ma
 		freshLabel = "fresh"
 	}
 	if markdown {
-		fmt.Fprintf(w, "| workload | allocator | bytes | threads | procs | %s Mops/s | %s Mops/s | delta |\n", baseLabel, freshLabel)
-		fmt.Fprintf(w, "|---|---|---:|---:|---:|---:|---:|---:|\n")
+		fmt.Fprintf(w, "| workload | allocator | bytes | threads | procs | %s Mops/s | %s Mops/s | delta | %s p99 | %s p99 | p99 delta |\n",
+			baseLabel, freshLabel, baseLabel, freshLabel)
+		fmt.Fprintf(w, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
 	} else {
-		fmt.Fprintf(w, "%-14s %-24s %7s %8s %6s %14s %14s %9s\n",
-			"workload", "allocator", "bytes", "threads", "procs", baseLabel+" Mops/s", freshLabel+" Mops/s", "delta")
+		fmt.Fprintf(w, "%-14s %-24s %7s %8s %6s %14s %14s %9s %10s %10s %10s\n",
+			"workload", "allocator", "bytes", "threads", "procs", baseLabel+" Mops/s", freshLabel+" Mops/s", "delta",
+			"base p99", "fresh p99", "p99 delta")
 	}
 	for _, d := range deltas {
 		delta := "new"
@@ -125,14 +145,27 @@ func WriteDiff(w io.Writer, baseLabel, freshLabel string, deltas []CellDelta, ma
 		if d.Procs > 0 {
 			procs = fmt.Sprintf("%d", d.Procs)
 		}
+		p99Delta := "-"
+		if pd, ok := PctDeltaPct(d.BaseP99, d.FreshP99); ok {
+			p99Delta = fmt.Sprintf("%+.1f%%", pd)
+		}
 		if markdown {
-			fmt.Fprintf(w, "| %s | %s | %d | %d | %s | %s | %s | %s |\n",
-				d.Workload, d.Allocator, d.Bytes, d.Threads, procs, mops(d.BaseOps), mops(d.FreshOps), delta)
+			fmt.Fprintf(w, "| %s | %s | %d | %d | %s | %s | %s | %s | %s | %s | %s |\n",
+				d.Workload, d.Allocator, d.Bytes, d.Threads, procs, mops(d.BaseOps), mops(d.FreshOps), delta,
+				nanos(d.BaseP99), nanos(d.FreshP99), p99Delta)
 		} else {
-			fmt.Fprintf(w, "%-14s %-24s %7d %8d %6s %14s %14s %9s\n",
-				d.Workload, d.Allocator, d.Bytes, d.Threads, procs, mops(d.BaseOps), mops(d.FreshOps), delta)
+			fmt.Fprintf(w, "%-14s %-24s %7d %8d %6s %14s %14s %9s %10s %10s %10s\n",
+				d.Workload, d.Allocator, d.Bytes, d.Threads, procs, mops(d.BaseOps), mops(d.FreshOps), delta,
+				nanos(d.BaseP99), nanos(d.FreshP99), p99Delta)
 		}
 	}
+}
+
+func nanos(v uint64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%dns", v)
 }
 
 func mops(v float64) string {
@@ -153,8 +186,9 @@ func LoadReport(path string) (JSONReport, error) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return JSONReport{}, fmt.Errorf("harness: parsing %s: %w", path, err)
 	}
-	if rep.Schema != JSONSchema {
-		return JSONReport{}, fmt.Errorf("harness: %s has schema %q, want %q", path, rep.Schema, JSONSchema)
+	if rep.Schema != JSONSchema && rep.Schema != jsonSchemaV1 {
+		return JSONReport{}, fmt.Errorf("harness: %s has schema %q, want %q (or the accepted %q)",
+			path, rep.Schema, JSONSchema, jsonSchemaV1)
 	}
 	return rep, nil
 }

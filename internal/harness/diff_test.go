@@ -2,6 +2,7 @@ package harness
 
 import (
 	"math"
+	"os"
 	"strings"
 	"testing"
 )
@@ -102,5 +103,95 @@ func TestDiffMixedSchemaSlabPairing(t *testing.T) {
 	}
 	if len(cutoffIns) != 2 || cutoffIns[0] != "baseline-only" || cutoffIns[1] != "fresh-only" {
 		t.Fatalf("cutoff-mismatched slab cells = %v, want [baseline-only fresh-only]", cutoffIns)
+	}
+}
+
+// TestDiffCarriesPercentilePairs pins the v2 latency columns through the
+// pairing: percentiles ride on the delta for cells present on each side,
+// never join the cell key, and render in the p99 columns.
+func TestDiffCarriesPercentilePairs(t *testing.T) {
+	base := JSONReport{Schema: JSONSchema, Label: "pr9", Cells: []JSONCell{
+		{Workload: "larson", Allocator: "4lvl-nb", Bytes: 128, Threads: 4, OpsPerSec: 10e6,
+			P50: 100, P99: 400, P999: 900},
+		// A throughput-only baseline cell (v1 or -latency=false): zeros.
+		{Workload: "larson", Allocator: "4lvl-nb", Bytes: 128, Threads: 8, OpsPerSec: 20e6},
+	}}
+	fresh := JSONReport{Schema: JSONSchema, Label: "ci", Cells: []JSONCell{
+		{Workload: "larson", Allocator: "4lvl-nb", Bytes: 128, Threads: 4, OpsPerSec: 10e6,
+			P50: 110, P99: 600, P999: 950},
+		{Workload: "larson", Allocator: "4lvl-nb", Bytes: 128, Threads: 8, OpsPerSec: 20e6,
+			P50: 90, P99: 350, P999: 800},
+	}}
+	deltas := DiffReports(base, fresh)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	d := deltas[0]
+	if d.BaseP99 != 400 || d.FreshP99 != 600 || d.BaseP50 != 100 || d.FreshP999 != 950 {
+		t.Fatalf("percentile pairs not carried: %+v", d)
+	}
+	// Cell 1 has latency only on the fresh side: the pair must be
+	// reported unmatched (base zero), not invented.
+	if deltas[1].BaseP99 != 0 || deltas[1].FreshP99 != 350 {
+		t.Fatalf("half-carried pair mishandled: %+v", deltas[1])
+	}
+
+	var txt strings.Builder
+	WriteDiff(&txt, base.Label, fresh.Label, deltas, false)
+	out := txt.String()
+	for _, want := range []string{"base p99", "fresh p99", "p99 delta", "400ns", "600ns", "+50.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text diff missing %q:\n%s", want, out)
+		}
+	}
+	// The half-carried pair renders "-" for the missing side and no delta.
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing-side sentinel absent:\n%s", out)
+	}
+}
+
+// TestPctDeltaPct pins the 0-sentinel pairing rule: a percentile delta
+// exists only when both sides carried samples.
+func TestPctDeltaPct(t *testing.T) {
+	if pd, ok := PctDeltaPct(400, 600); !ok || math.Abs(pd-50) > 1e-9 {
+		t.Fatalf("PctDeltaPct(400,600) = %v,%v want 50,true", pd, ok)
+	}
+	if pd, ok := PctDeltaPct(400, 200); !ok || math.Abs(pd-(-50)) > 1e-9 {
+		t.Fatalf("PctDeltaPct(400,200) = %v,%v want -50,true", pd, ok)
+	}
+	for _, c := range [][2]uint64{{0, 600}, {400, 0}, {0, 0}} {
+		if _, ok := PctDeltaPct(c[0], c[1]); ok {
+			t.Fatalf("PctDeltaPct(%d,%d) must report no pairing", c[0], c[1])
+		}
+	}
+}
+
+// TestLoadReportAcceptsV1 pins schema compatibility: committed v1
+// baselines (pre-latency PRs) keep loading after the v2 bump — their
+// cells simply carry zero percentiles — while unknown schemas still
+// fail loudly.
+func TestLoadReportAcceptsV1(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, schema string) string {
+		path := dir + "/" + name
+		body := `{"schema":"` + schema + `","label":"x","cells":[` +
+			`{"workload":"larson","allocator":"4lvl-nb","bytes":128,"threads":4,"ops_per_sec":1000000}]}`
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	rep, err := LoadReport(write("v1.json", jsonSchemaV1))
+	if err != nil {
+		t.Fatalf("v1 baseline rejected: %v", err)
+	}
+	if len(rep.Cells) != 1 || rep.Cells[0].P99 != 0 {
+		t.Fatalf("v1 cells mangled: %+v", rep.Cells)
+	}
+	if _, err := LoadReport(write("v2.json", JSONSchema)); err != nil {
+		t.Fatalf("current schema rejected: %v", err)
+	}
+	if _, err := LoadReport(write("bad.json", "nbbsbench/v99")); err == nil {
+		t.Fatal("unknown schema accepted")
 	}
 }

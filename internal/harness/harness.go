@@ -17,6 +17,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/slab"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -43,6 +44,13 @@ type Sweep struct {
 	// workload runs under — and stamps every cell with it. 0 leaves the
 	// runtime untouched and the cells unstamped.
 	Procs int
+	// Latency wraps every cell's allocator in one top-level telemetry
+	// probe and reports sampled single-op Alloc/Free percentiles
+	// (p50/p99/p999) per cell — tail latency is the metric a non-blocking
+	// allocator exists to win, so the trajectory tracks it alongside
+	// throughput. Batch operations are excluded: a whole-batch latency
+	// is a different unit and would skew the tail.
+	Latency bool
 }
 
 // Cell is one measured grid point.
@@ -57,6 +65,12 @@ type Cell struct {
 	// the same label measured with a different class table is a different
 	// grid point.
 	SlabCutoff uint64
+	// LatencySamples and Latency are the sampled single-op Alloc/Free
+	// latency percentiles pooled across reps; zero when the sweep ran
+	// without Latency (the 0-sentinel convention every optional cell
+	// field uses).
+	LatencySamples uint64
+	Latency        telemetry.Percentiles
 }
 
 // Run executes the sweep, streaming per-cell progress lines to progress
@@ -82,10 +96,23 @@ func (s Sweep) Run(progress io.Writer) ([]Cell, error) {
 				var slabCutoff uint64
 				var totOps, totFails uint64
 				var totElapsed time.Duration
+				// One latency series per cell: every rep's probe feeds it,
+				// so the percentiles pool across reps like ops do.
+				var series *telemetry.Series
+				if s.Latency {
+					series = telemetry.New(telemetry.Config{}).Series(name)
+				}
 				for r := 0; r < reps; r++ {
 					a, err := alloc.Build(name, s.Instance)
 					if err != nil {
 						return nil, fmt.Errorf("harness: building %s: %w", name, err)
+					}
+					if series != nil {
+						p, err := telemetry.NewProbe(a, series, 0)
+						if err != nil {
+							return nil, fmt.Errorf("harness: probing %s: %w", name, err)
+						}
+						a = p
 					}
 					cfg := workload.Config{
 						Threads: threads,
@@ -114,14 +141,27 @@ func (s Sweep) Run(progress io.Writer) ([]Cell, error) {
 				// pooled mean, not the last rep's sample.
 				last.Ops, last.Fails, last.Elapsed = totOps, totFails, totElapsed
 				cell := Cell{Result: last, Summary: stats.Summarize(samples), Procs: s.Procs, SlabCutoff: slabCutoff}
+				if series != nil {
+					merged := series.Merged()
+					var snap telemetry.Snapshot
+					snap.Add(&merged[telemetry.OpAlloc])
+					snap.Add(&merged[telemetry.OpFree])
+					cell.LatencySamples = snap.Total()
+					cell.Latency = snap.Percentiles()
+				}
 				cells = append(cells, cell)
 				if progress != nil {
 					procNote := ""
 					if s.Procs > 0 {
 						procNote = fmt.Sprintf(" procs=%-3d", s.Procs)
 					}
-					fmt.Fprintf(progress, "%-20s %-12s bytes=%-7d threads=%-3d%s %10.3fs %12.0f ops/s\n",
-						s.Workload, name, size, threads, procNote, cell.Summary.Mean, cell.Throughput())
+					latNote := ""
+					if cell.LatencySamples > 0 {
+						latNote = fmt.Sprintf("  p50=%dns p99=%dns p999=%dns",
+							cell.Latency.P50, cell.Latency.P99, cell.Latency.P999)
+					}
+					fmt.Fprintf(progress, "%-20s %-12s bytes=%-7d threads=%-3d%s %10.3fs %12.0f ops/s%s\n",
+						s.Workload, name, size, threads, procNote, cell.Summary.Mean, cell.Throughput(), latNote)
 				}
 			}
 		}
@@ -207,16 +247,24 @@ func Table(w io.Writer, title string, cells []Cell, size uint64, allocators []st
 // column is what relates the two (ops_per_sec is already the pooled
 // ops/elapsed ratio).
 func CSV(w io.Writer, cells []Cell) {
-	fmt.Fprintln(w, "workload,allocator,bytes,threads,reps,seconds,ops,ops_per_sec,fails")
+	fmt.Fprintln(w, "workload,allocator,bytes,threads,reps,seconds,ops,ops_per_sec,fails,p50_ns,p99_ns,p999_ns")
 	for _, c := range cells {
-		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.6f,%d,%.1f,%d\n",
-			c.Workload, c.Allocator, c.Size, c.Threads, c.Summary.N, c.Summary.Mean, c.Ops, c.Throughput(), c.Fails)
+		fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.6f,%d,%.1f,%d,%d,%d,%d\n",
+			c.Workload, c.Allocator, c.Size, c.Threads, c.Summary.N, c.Summary.Mean, c.Ops, c.Throughput(), c.Fails,
+			c.Latency.P50, c.Latency.P99, c.Latency.P999)
 	}
 }
 
 // JSONSchema versions the machine-readable report format so trajectory
-// tooling can detect incompatible changes.
-const JSONSchema = "nbbsbench/v1"
+// tooling can detect incompatible changes. v2 added the optional
+// latency percentile fields (lat_samples / p50_ns / p99_ns / p999_ns);
+// LoadReport still accepts v1 baselines — the new fields follow the
+// 0-sentinel pairing convention, so pre-telemetry cells keep keying and
+// diffing against fresh ones.
+const JSONSchema = "nbbsbench/v2"
+
+// jsonSchemaV1 is the previous accepted schema (pre-latency reports).
+const jsonSchemaV1 = "nbbsbench/v1"
 
 // JSONCell is one grid point of the machine-readable report.
 type JSONCell struct {
@@ -245,6 +293,16 @@ type JSONCell struct {
 	// and fresh slab-less cells keying identically in trajectory diffs —
 	// the same sentinel convention as Procs.
 	SlabCutoff uint64 `json:"slab_cutoff,omitempty"`
+	// LatSamples and the percentile fields are the sampled single-op
+	// Alloc/Free latency summary of a -latency sweep; 0 (omitted) when
+	// the cell ran without latency probes — not part of the cell key, so
+	// v1 baselines and latency-less runs keep pairing, and benchdiff only
+	// diffs percentiles when both sides carry them (the Procs/SlabCutoff
+	// sentinel convention).
+	LatSamples uint64 `json:"lat_samples,omitempty"`
+	P50        uint64 `json:"p50_ns,omitempty"`
+	P99        uint64 `json:"p99_ns,omitempty"`
+	P999       uint64 `json:"p999_ns,omitempty"`
 }
 
 // JSONReport is the machine-readable benchmark report emitted by
@@ -283,6 +341,10 @@ func Report(label string, cells []Cell) JSONReport {
 			Fails:      c.Fails,
 			Procs:      c.Procs,
 			SlabCutoff: c.SlabCutoff,
+			LatSamples: c.LatencySamples,
+			P50:        c.Latency.P50,
+			P99:        c.Latency.P99,
+			P999:       c.Latency.P999,
 		}
 		if c.Procs > 0 {
 			k := fmt.Sprintf("%s|%s|%d|%d", c.Workload, c.Allocator, c.Size, c.Threads)

@@ -120,6 +120,12 @@ type Region struct {
 	commits, decommits, recommits       uint64
 	hugeFallbacks, bindFails            uint64
 	reserveFails, commitFails, decFails uint64
+
+	// sink, when non-nil, receives one call per degradation-ladder rung
+	// taken (huge-fallback, bind-fail, commit-fail, reserve-fail,
+	// decommit-fail) for the telemetry flight recorder. Invoked with mu
+	// held, so events order like the transitions they describe.
+	sink func(event string, a, b uint64)
 }
 
 // Option tunes a Region.
@@ -166,6 +172,23 @@ func New(windowSize uint64, windows int, opts ...Option) (*Region, error) {
 	return r, nil
 }
 
+// SetEventSink installs the flight-recorder publish hook for the
+// degradation ladder: every counted rung (hugepage fallback, failed
+// bind, failed reserve/commit/decommit) is published with the window
+// index as operand a. Install during stack construction; nil uninstalls.
+func (r *Region) SetEventSink(fn func(event string, a, b uint64)) {
+	r.mu.Lock()
+	r.sink = fn
+	r.mu.Unlock()
+}
+
+// emit publishes a ladder event. Called with mu held; nil-safe.
+func (r *Region) emit(event string, a uint64) {
+	if r.sink != nil {
+		r.sink(event, a, 0)
+	}
+}
+
 // Mapped reports whether this platform really maps and unmaps pages
 // (Linux) or runs the portable bookkeeping fallback.
 func Mapped() bool { return osMapped }
@@ -193,6 +216,7 @@ func (r *Region) Ensure(n int) error {
 		raw, buf, err := r.osReserveChecked()
 		if err != nil {
 			r.reserveFails++
+			r.emit("reserve-fail", uint64(len(r.wins)))
 			return fmt.Errorf("mem: reserving window %d (%d bytes): %w", len(r.wins), r.winSize, err)
 		}
 		r.wins = append(r.wins, &window{raw: raw, buf: buf, node: -1})
@@ -232,6 +256,7 @@ func (r *Region) Commit(k int) error {
 	}
 	if err := r.inj.Check(fault.Commit); err != nil {
 		r.commitFails++
+		r.emit("commit-fail", uint64(k))
 		return fmt.Errorf("mem: committing window %d: %w", k, err)
 	}
 	if r.numa {
@@ -246,14 +271,17 @@ func (r *Region) Commit(k int) error {
 		// schedules exercise this rung of the ladder portably.
 		if err := r.inj.Check(fault.Bind); err != nil {
 			r.bindFails++
+			r.emit("bind-fail", uint64(k))
 		} else if len(numaNodeIDs()) > 1 {
 			if err := osBindNode(w.buf, w.node); err != nil {
 				r.bindFails++
+				r.emit("bind-fail", uint64(k))
 			}
 		}
 	}
 	if err := osProtectRW(w.buf); err != nil {
 		r.commitFails++
+		r.emit("commit-fail", uint64(k))
 		return fmt.Errorf("mem: committing window %d: %w", k, err)
 	}
 	if r.HugePages() {
@@ -266,6 +294,7 @@ func (r *Region) Commit(k int) error {
 		}
 		if err != nil {
 			r.hugeFallbacks++
+			r.emit("huge-fallback", uint64(k))
 		}
 	}
 	osTouch(w.buf)
@@ -296,6 +325,7 @@ func (r *Region) Decommit(k int) error {
 		// The window stays committed: a failed decommit loses the RSS
 		// return, not the window — the caller retries on a later pass.
 		r.decFails++
+		r.emit("decommit-fail", uint64(k))
 		return fmt.Errorf("mem: decommitting window %d: %w", k, err)
 	}
 	w.committed = false

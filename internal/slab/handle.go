@@ -68,6 +68,7 @@ func (h *Handle) syncDrain(epoch uint64) {
 			h.a.putEntries(ci, m)
 			h.mags[ci] = m[:0]
 			h.extra.drainFlushes++
+			h.a.emit("drain-flush", uint64(ci), uint64(len(m)))
 		}
 	}
 }
@@ -98,6 +99,7 @@ func (h *Handle) Alloc(size uint64) (uint64, bool) {
 			return a.allocSmall(h.inner, size, &h.stats, &h.extra)
 		}
 		h.extra.refills++
+		h.a.emit("refill", uint64(ci), uint64(len(m)))
 	}
 	e := m[len(m)-1]
 	h.mags[ci] = m[:len(m)-1]
@@ -124,6 +126,7 @@ func (h *Handle) Free(off uint64) {
 		a.putEntries(r.class, m[n:])
 		m = m[:n]
 		h.extra.spills++
+		a.emit("spill", uint64(r.class), uint64(spillBatch))
 	}
 	h.mags[r.class] = m
 }

@@ -148,6 +148,25 @@ type Allocator struct {
 	drainEpoch atomic.Uint64
 	drainMu    sync.Mutex
 	drainWins  map[uint64]uint64 // lo -> hi
+
+	// sink, when non-nil, receives one call per magazine refill, spill
+	// and drain-fence flush for the telemetry flight recorder (a = class
+	// index, b = entries moved). Installed during stack construction,
+	// before handles exist; the ring it publishes into is itself
+	// concurrency-safe, so handles call it without coordination.
+	sink func(event string, a, b uint64)
+}
+
+// SetEventSink installs the flight-recorder publish hook for magazine
+// refill/spill/drain-flush crossings. Install before traffic; nil
+// uninstalls.
+func (a *Allocator) SetEventSink(fn func(event string, a, b uint64)) { a.sink = fn }
+
+// emit publishes a magazine-crossing event. Nil-safe.
+func (a *Allocator) emit(event string, x, y uint64) {
+	if a.sink != nil {
+		a.sink(event, x, y)
+	}
 }
 
 // closedStats retains the contribution of closed handles so quiescent

@@ -35,6 +35,7 @@ import (
 	"repro/internal/proc"
 	"repro/internal/shard"
 	"repro/internal/slab"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -113,6 +114,12 @@ type Spec struct {
 	// the chaos harness schedule failures on it after the build — the
 	// build itself needs the initial commits to succeed.
 	Faults *fault.Injector
+	// Telemetry, when non-nil, inserts a latency probe above every layer
+	// boundary (backend — unless elastic sits directly on the router —
+	// elastic, shard, frontend, slab) and wires each event-emitting
+	// layer's flight-recorder sink into the registry's ring. Nil is the
+	// disabled state: no probes, no sinks, no hot-path cost.
+	Telemetry *telemetry.Registry
 }
 
 // Stack is a built layer stack. Top serves the composed contract; the
@@ -140,6 +147,9 @@ type Stack struct {
 	Arena *arena.Allocator
 	// Mem is the mapped backing region (nil when not Mapped).
 	Mem *mem.Region
+	// Telemetry is the registry the probes and sinks feed (nil when
+	// Spec.Telemetry was nil).
+	Telemetry *telemetry.Registry
 	// Variant is the leaf allocator label the stack was built from.
 	Variant string
 
@@ -226,7 +236,29 @@ func Build(s Spec) (*Stack, error) {
 	}
 	_, st.scrubbable = leafOf(st.Backend).(alloc.Scrubber)
 
+	// probe wraps the current top with a latency-recording boundary when
+	// telemetry is enabled (a no-op registry-less build inserts nothing).
+	probe := func(layer string) error {
+		if s.Telemetry == nil {
+			return nil
+		}
+		p, err := telemetry.NewProbe(st.Top, s.Telemetry.Series(layer), s.Telemetry.SampleInterval())
+		if err != nil {
+			return err
+		}
+		st.Top = p
+		return nil
+	}
+
 	st.Top = st.Backend
+	if s.Elastic == nil {
+		// With elastic the manager must sit directly on the router (it
+		// grows the instance table in place), so the backend boundary is
+		// observed through the elastic probe instead.
+		if err := probe("backend"); err != nil {
+			return nil, err
+		}
+	}
 	if s.Elastic != nil {
 		mgr, err := elastic.New(st.Multi, *s.Elastic)
 		if err != nil {
@@ -234,6 +266,9 @@ func Build(s Spec) (*Stack, error) {
 		}
 		st.Elastic = mgr
 		st.Top = mgr
+		if err := probe("elastic"); err != nil {
+			return nil, err
+		}
 	}
 	if s.Sharded {
 		sh, err := shard.New(st.Top, s.Shards)
@@ -248,6 +283,9 @@ func Build(s Spec) (*Stack, error) {
 			// the shard layer flushed for its window — same contract as the
 			// depot hook below.
 			st.Elastic.OnDrainRange(sh.DrainRange)
+		}
+		if err := probe("shard"); err != nil {
+			return nil, err
 		}
 	}
 	if s.Cached || s.Depot {
@@ -270,6 +308,9 @@ func Build(s Spec) (*Stack, error) {
 			// count never reaches zero. (No-op without a depot.)
 			st.Elastic.OnDrainRange(fe.DrainDepotRange)
 		}
+		if err := probe("frontend"); err != nil {
+			return nil, err
+		}
 	}
 	if s.Slab {
 		sl, err := slab.New(st.Top, s.SlabCutoff)
@@ -284,6 +325,9 @@ func Build(s Spec) (*Stack, error) {
 			// retirement needs the slab's empty runs released and its
 			// handle magazines fenced for the window.
 			st.Elastic.OnDrainRange(sl.DrainRange)
+		}
+		if err := probe("slab"); err != nil {
+			return nil, err
 		}
 	}
 	if s.Record != nil {
@@ -301,6 +345,26 @@ func Build(s Spec) (*Stack, error) {
 		}
 		st.Arena = ar
 		st.Top = ar
+	}
+	if s.Telemetry != nil {
+		// Flight-recorder wiring: every lifecycle-emitting layer publishes
+		// into the registry's ring under its own source label. Installed
+		// after the build so the initial commits stay unrecorded (they are
+		// construction, not lifecycle).
+		st.Telemetry = s.Telemetry
+		if st.Elastic != nil {
+			st.Elastic.SetEventSink(s.Telemetry.Sink("elastic"))
+		}
+		if st.Mem != nil {
+			st.Mem.SetEventSink(s.Telemetry.Sink("mem"))
+		}
+		s.Faults.SetEventSink(s.Telemetry.Sink("fault"))
+		if st.Frontend != nil {
+			st.Frontend.SetEventSink(s.Telemetry.Sink("depot"))
+		}
+		if st.Slab != nil {
+			st.Slab.SetEventSink(s.Telemetry.Sink("slab"))
+		}
 	}
 	return st, nil
 }

@@ -1,0 +1,10 @@
+//go:build !gc
+
+package telemetry
+
+import "time"
+
+// nanotime is the portable fallback for toolchains without the runtime
+// linkname: a wall-clock read. Latency samples stay meaningful (the
+// intervals are far shorter than any clock step), only slightly pricier.
+func nanotime() int64 { return time.Now().UnixNano() }

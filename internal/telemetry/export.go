@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+)
+
+// snapshotForExport is the JSON/expvar shape of a registry dump.
+type snapshotForExport struct {
+	Latencies []LayerLatency `json:"latencies"`
+	Events    []Event        `json:"events"`
+	Published uint64         `json:"events_published"`
+}
+
+func (r *Registry) export() snapshotForExport {
+	return snapshotForExport{
+		Latencies: r.Latencies(),
+		Events:    r.ring.Events(),
+		Published: r.ring.Published(),
+	}
+}
+
+// Handler returns an HTTP handler serving the registry as Prometheus
+// text exposition (default) or as JSON (?format=json): per-boundary
+// per-op sample counts and p50/p99/p999 gauges, the cumulative bucket
+// ladder, and the flight recorder's publish counter.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(r.export())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "# HELP nbbs_latency_samples_total Sampled operations per layer boundary and op.\n")
+		fmt.Fprintf(w, "# TYPE nbbs_latency_samples_total counter\n")
+		latencies := r.Latencies()
+		for _, ll := range latencies {
+			for _, op := range ll.Ops {
+				if op.Samples == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "nbbs_latency_samples_total{layer=%q,op=%q} %d\n", ll.Layer, op.Op, op.Samples)
+			}
+		}
+		for _, q := range []struct {
+			name string
+			get  func(OpLatency) uint64
+		}{
+			{"nbbs_latency_p50_nanoseconds", func(o OpLatency) uint64 { return o.P50 }},
+			{"nbbs_latency_p99_nanoseconds", func(o OpLatency) uint64 { return o.P99 }},
+			{"nbbs_latency_p999_nanoseconds", func(o OpLatency) uint64 { return o.P999 }},
+		} {
+			fmt.Fprintf(w, "# HELP %s Merged latency percentile per layer boundary and op.\n", q.name)
+			fmt.Fprintf(w, "# TYPE %s gauge\n", q.name)
+			for _, ll := range latencies {
+				for _, op := range ll.Ops {
+					if op.Samples == 0 {
+						continue
+					}
+					fmt.Fprintf(w, "%s{layer=%q,op=%q} %d\n", q.name, ll.Layer, op.Op, q.get(op))
+				}
+			}
+		}
+		fmt.Fprintf(w, "# HELP nbbs_events_published_total Flight-recorder events published (including overwritten).\n")
+		fmt.Fprintf(w, "# TYPE nbbs_events_published_total counter\n")
+		fmt.Fprintf(w, "nbbs_events_published_total %d\n", r.ring.Published())
+		fmt.Fprintf(w, "# HELP nbbs_events_retained Flight-recorder events currently retained.\n")
+		fmt.Fprintf(w, "# TYPE nbbs_events_retained gauge\n")
+		fmt.Fprintf(w, "nbbs_events_retained %d\n", len(r.ring.Events()))
+	})
+}
+
+// PublishExpvar registers the registry under the given expvar name
+// (served by the standard /debug/vars endpoint). Registering the same
+// name twice panics, per expvar's contract — one registry per name.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.export() }))
+}

@@ -1,0 +1,175 @@
+// Package telemetry is the always-on observability layer of the
+// allocator stack: per-handle lock-free latency histograms recorded at
+// layer boundaries (mergeable on demand into p50/p99/p999), and a
+// flight-recorder event ring the lifecycle machinery — elastic
+// grow/drain/retire, injected faults, degradation-ladder rungs,
+// slab/depot refill-spill-drain — publishes into, dumpable as JSON and
+// attached to chaos incidents.
+//
+// The recording discipline mirrors the stack's stats discipline
+// (DESIGN.md "Per-layer statistics"): histograms are per handle and
+// single-writer, so recording is one clock read plus one bucket
+// increment with no lock-prefixed RMW; a handle's buckets are folded
+// into its boundary's retained accumulator on Close(). Bucket counters
+// are atomic.Uint64 written with Load+Store (a plain store on every
+// platform Go targets) so a concurrent merge — or a Close racing a
+// last in-flight record — reads them without a data race; the cost of
+// an atomic store is the cost of a plain store, which is what keeps
+// "lock-free" honest under the race detector.
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the size of the log-linear bucket ladder: exact buckets
+// for 0..3ns, then two buckets per power of two up to bucket 63, whose
+// lower edge is 3·2^30 ns — the ladder spans nanoseconds to seconds
+// with at most 25% relative error per bucket (HDR-style, 1 significant
+// bit of mantissa).
+const NumBuckets = 64
+
+// bucketOf maps an elapsed duration in nanoseconds to its bucket.
+func bucketOf(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	if v < 4 {
+		return int(v)
+	}
+	msb := bits.Len64(v) - 1
+	idx := 2*msb + int((v>>(msb-1))&1)
+	if idx >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the inclusive upper edge (in ns) of a bucket —
+// the value percentile extraction reports, so a reported percentile
+// always bounds the true one from above.
+func bucketUpper(i int) uint64 {
+	if i < 4 {
+		return uint64(i)
+	}
+	msb := i / 2
+	half := uint64(i % 2)
+	lo := uint64(1)<<msb + half<<(msb-1)
+	return lo + uint64(1)<<(msb-1) - 1
+}
+
+// Op identifies which handle operation a histogram covers.
+type Op int
+
+// The recorded operations, one histogram each per handle.
+const (
+	OpAlloc Op = iota
+	OpFree
+	OpAllocBatch
+	OpFreeBatch
+	numOps
+)
+
+// String returns the operation's stats label.
+func (op Op) String() string {
+	switch op {
+	case OpAlloc:
+		return "alloc"
+	case OpFree:
+		return "free"
+	case OpAllocBatch:
+		return "alloc_batch"
+	case OpFreeBatch:
+		return "free_batch"
+	}
+	return "unknown"
+}
+
+// Histogram is a single-writer latency histogram: exactly one goroutine
+// records (the handle's owner), any goroutine may concurrently read the
+// buckets. Record issues no RMW instruction — the increment is an
+// atomic load and an atomic store of a counter only the owner writes.
+type Histogram struct {
+	counts [NumBuckets]atomic.Uint64
+}
+
+// Record adds one elapsed-nanoseconds sample. Owner goroutine only.
+func (h *Histogram) Record(ns int64) {
+	c := &h.counts[bucketOf(ns)]
+	c.Store(c.Load() + 1)
+}
+
+// AddTo accumulates the histogram's current buckets into s. Safe to
+// call concurrently with Record; a racing in-flight sample may or may
+// not be included (each bucket read is atomic, the walk is not).
+func (h *Histogram) AddTo(s *Snapshot) {
+	for i := range h.counts {
+		s[i] += h.counts[i].Load()
+	}
+}
+
+// Snapshot is a plain (non-atomic) bucket vector: the merge currency of
+// the package. Zero value is empty and usable.
+type Snapshot [NumBuckets]uint64
+
+// Add accumulates other into s.
+func (s *Snapshot) Add(other *Snapshot) {
+	for i := range s {
+		s[i] += other[i]
+	}
+}
+
+// Total returns the sample count.
+func (s *Snapshot) Total() uint64 {
+	var n uint64
+	for _, c := range s {
+		n += c
+	}
+	return n
+}
+
+// Quantile returns the upper edge of the bucket holding the q-quantile
+// sample (0 < q <= 1), or 0 for an empty snapshot.
+func (s *Snapshot) Quantile(q float64) uint64 {
+	total := s.Total()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for i, c := range s {
+		seen += c
+		if seen >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(NumBuckets - 1)
+}
+
+// Percentiles is the fixed p50/p99/p999 summary every surface of the
+// package reports (nanoseconds; 0 = no samples).
+type Percentiles struct {
+	P50  uint64 `json:"p50_ns"`
+	P99  uint64 `json:"p99_ns"`
+	P999 uint64 `json:"p999_ns"`
+}
+
+// Percentiles extracts the summary from a snapshot.
+func (s *Snapshot) Percentiles() Percentiles {
+	if s.Total() == 0 {
+		return Percentiles{}
+	}
+	return Percentiles{
+		P50:  s.Quantile(0.50),
+		P99:  s.Quantile(0.99),
+		P999: s.Quantile(0.999),
+	}
+}

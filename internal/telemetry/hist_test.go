@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBucketLadder pins the log-linear bucket geometry: every bucket's
+// upper edge maps back to itself, edges are strictly increasing, and the
+// value just past one bucket's edge lands in the next — the properties
+// percentile extraction relies on.
+func TestBucketLadder(t *testing.T) {
+	prev := uint64(0)
+	for i := 0; i < NumBuckets; i++ {
+		up := bucketUpper(i)
+		if i > 0 && up <= prev {
+			t.Fatalf("bucketUpper not increasing at %d: %d <= %d", i, up, prev)
+		}
+		if got := bucketOf(int64(up)); got != i {
+			t.Errorf("bucketOf(bucketUpper(%d)=%d) = %d", i, up, got)
+		}
+		if i < NumBuckets-1 {
+			if got := bucketOf(int64(up + 1)); got != i+1 {
+				t.Errorf("bucketOf(%d) = %d, want %d", up+1, got, i+1)
+			}
+		}
+		prev = up
+	}
+	if got := bucketOf(-5); got != 0 {
+		t.Errorf("bucketOf(-5) = %d, want 0 (clamped)", got)
+	}
+	if got := bucketOf(1 << 62); got != NumBuckets-1 {
+		t.Errorf("bucketOf(1<<62) = %d, want top bucket", got)
+	}
+}
+
+// TestBucketRelativeError checks the ladder's precision claim: from
+// bucket 4 up, reporting a bucket's upper edge overstates any sample in
+// the bucket by at most 50% (1 significant mantissa bit — the HDR-style
+// trade the package documents).
+func TestBucketRelativeError(t *testing.T) {
+	for i := 4; i < NumBuckets; i++ {
+		up := bucketUpper(i)
+		lo := bucketUpper(i-1) + 1
+		if err := float64(up-lo) / float64(lo); err > 0.5 {
+			t.Errorf("bucket %d [%d,%d]: relative width %.2f > 0.5", i, lo, up, err)
+		}
+	}
+}
+
+// TestRecordAndQuantile records a known distribution and checks the
+// percentile read-out bounds it from above within one bucket.
+func TestRecordAndQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 998; i++ {
+		h.Record(100) // bucket upper edge 127
+	}
+	h.Record(100000) // two tail outliers: they own ranks 999 and 1000,
+	h.Record(100000) // so the p999 rank (999) lands on them
+
+	var s Snapshot
+	h.AddTo(&s)
+	if got := s.Total(); got != 1000 {
+		t.Fatalf("Total = %d, want 1000", got)
+	}
+	if got := s.Quantile(0.50); got != 127 {
+		t.Errorf("p50 = %d, want 127 (upper edge of the 100ns bucket)", got)
+	}
+	if got := s.Quantile(0.99); got != 127 {
+		t.Errorf("p99 = %d, want 127 (rank 990 of 1000 is still the bulk)", got)
+	}
+	p := s.Percentiles()
+	if p.P999 < 100000 {
+		t.Errorf("p999 = %d, want >= 100000 (the outliers' bucket)", p.P999)
+	}
+	if got := s.Quantile(1.0); got < 100000 {
+		t.Errorf("max = %d, want >= 100000", got)
+	}
+	if p.P50 != s.Quantile(0.50) || p.P99 != s.Quantile(0.99) {
+		t.Errorf("Percentiles() disagrees with Quantile(): %+v", p)
+	}
+}
+
+// TestSnapshotMerge checks Add is the bucket-wise sum and empty
+// snapshots report zero percentiles.
+func TestSnapshotMerge(t *testing.T) {
+	var a, b Snapshot
+	a[3], b[3], b[7] = 2, 3, 5
+	a.Add(&b)
+	if a[3] != 5 || a[7] != 5 {
+		t.Fatalf("Add: got %v", a[:8])
+	}
+	var empty Snapshot
+	if empty.Quantile(0.5) != 0 || (empty.Percentiles() != Percentiles{}) {
+		t.Errorf("empty snapshot must report zero percentiles")
+	}
+}
+
+// TestSeriesConcurrentRecordMergeClose is the race-detector workout the
+// single-writer discipline must survive: 8 owner goroutines record into
+// their own sets while a reader merges continuously and each owner
+// closes its set mid-stream. After the fold, the retained accumulator
+// holds every sample exactly once.
+func TestSeriesConcurrentRecordMergeClose(t *testing.T) {
+	s := &Series{layer: "test"}
+	const workers = 8
+	const perWorker = 20000
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Merged() // must not race with Record or close
+			}
+		}
+	}()
+
+	var owners sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		owners.Add(1)
+		go func(w int) {
+			defer owners.Done()
+			hs := s.newSet()
+			for i := 0; i < perWorker; i++ {
+				hs.h[OpAlloc].Record(int64(i % 5000))
+				if i == perWorker/2 && w%2 == 0 {
+					// Half the workers close mid-stream and keep going on a
+					// fresh set — the worker-churn shape Close() must absorb.
+					s.close(hs)
+					hs = s.newSet()
+				}
+			}
+			s.close(hs)
+		}(w)
+	}
+	owners.Wait()
+	close(stop)
+	readers.Wait()
+
+	merged := s.Merged()
+	if got := merged[OpAlloc].Total(); got != workers*perWorker {
+		t.Fatalf("retained %d samples, want %d", got, workers*perWorker)
+	}
+	if merged[OpFree].Total() != 0 {
+		t.Fatalf("free histogram polluted")
+	}
+}

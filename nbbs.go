@@ -60,6 +60,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/slab"
 	"repro/internal/stack"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 
 	// Register all allocator variants and composed stacks.
@@ -157,6 +158,7 @@ type options struct {
 	sharded     bool
 	shards      int
 	faults      *fault.Injector
+	telemetry   *telemetry.Registry
 }
 
 // WithVariant selects the allocator implementation (default Variant4Lvl).
@@ -324,6 +326,32 @@ func WithFaultInjection(in *FaultInjector) Option { return func(o *options) { o.
 // arena keeps one sub-region per instance behind the global offset space.
 func WithMaterializedRegion() Option { return func(o *options) { o.materialize = true } }
 
+// TelemetryRegistry is the always-on telemetry root of a stack built
+// WithTelemetry: per-layer-boundary latency percentiles via Latencies,
+// the flight-recorder event ring via Ring, an expvar/Prometheus-text
+// HTTP handler via Handler (internal/telemetry).
+type TelemetryRegistry = telemetry.Registry
+
+// TelemetryConfig tunes WithTelemetry; the zero value takes every
+// default (sample one in 64 single-chunk operations, a 256-event ring
+// sharded per processor).
+type TelemetryConfig = telemetry.Config
+
+// TelemetryEvent is one flight-recorder entry; see TelemetryRegistry.Ring.
+type TelemetryEvent = telemetry.Event
+
+// WithTelemetry enables the always-on telemetry layer: latency probes at
+// every layer boundary feeding per-handle lock-free histograms (sampled,
+// folded into retained accumulators on handle Close), and a
+// flight-recorder event ring the lifecycle layers (elastic, mapped
+// memory, fault injector, depot, slab) publish into. Retrieve the
+// registry with Buddy.Telemetry. Overhead is bounded by sampling — see
+// DESIGN.md, "Observability" — and a stack built without this option
+// pays nothing at all.
+func WithTelemetry(cfg TelemetryConfig) Option {
+	return func(o *options) { o.telemetry = telemetry.New(cfg) }
+}
+
 func build(cfg Config, o options) (*Buddy, error) {
 	st, err := stack.Build(stack.Spec{
 		Variant:       o.variant,
@@ -345,6 +373,7 @@ func build(cfg Config, o options) (*Buddy, error) {
 		Sharded:       o.sharded,
 		Shards:        o.shards,
 		Faults:        o.faults,
+		Telemetry:     o.telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -506,6 +535,11 @@ func (b *Buddy) Multi() *Multi { return b.st.Multi }
 // policy on a background interval; Counters and Utilization report the
 // lifecycle state.
 func (b *Buddy) Elastic() *ElasticManager { return b.st.Elastic }
+
+// Telemetry exposes the telemetry registry (nil unless built
+// WithTelemetry): latency percentiles per layer boundary, the
+// flight-recorder ring, and the HTTP/expvar exporters.
+func (b *Buddy) Telemetry() *TelemetryRegistry { return b.st.Telemetry }
 
 // SlabLayer is the size-class slab layer; see Buddy.Slab.
 type SlabLayer = slab.Allocator
