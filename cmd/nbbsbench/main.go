@@ -41,7 +41,7 @@ import (
 
 func main() {
 	var (
-		workloadName = flag.String("workload", "linux-scalability", "comma-separated workloads: linux-scalability | thread-test | larson | constant-occupancy | remote-free | frag | burst | mixed")
+		workloadName = flag.String("workload", "linux-scalability", "comma-separated workloads: "+strings.Join(workload.Names(), " | "))
 		allocators   = flag.String("alloc", strings.Join(harness.AllocatorsUserSpace, ","), "comma-separated allocator variants")
 		threads      = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
 		procsFlag    = flag.String("procs", "", "comma-separated GOMAXPROCS values (e.g. 1,4,8): run every cell once per value and report scaling efficiency (throughput@P / P*throughput@1); empty = current GOMAXPROCS only")
@@ -97,7 +97,7 @@ func main() {
 	workloads := strings.Split(*workloadName, ",")
 	for _, w := range workloads {
 		if _, ok := workload.Drivers[w]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown workload %q; valid: linux-scalability, thread-test, larson, constant-occupancy, remote-free, frag, burst, mixed\n", w)
+			fmt.Fprintf(os.Stderr, "unknown workload %q; valid: %s\n", w, strings.Join(workload.Names(), ", "))
 			os.Exit(2)
 		}
 	}

@@ -22,6 +22,10 @@
 //	    # mapped windows: per-slot commit map and commit/decommit totals
 //	nbbsinfo -instances 2 -elastic -mem -latency -events -demo-ops 400000
 //	    # per-layer latency percentile table and the flight-recorder dump
+//	nbbsinfo -instances 2 -elastic -elastic-policy predictive \
+//	    -elastic-migrate -mem -demo-ops 400000
+//	    # EWMA/slope estimator state, the live-chunk migration showcase,
+//	    # per-slot drain ages and time-to-retire
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 
 	nbbs "repro"
 	"repro/internal/geometry"
+	"repro/internal/multi"
 )
 
 func main() {
@@ -56,6 +61,8 @@ func main() {
 		elastic     = flag.Bool("elastic", false, "wrap the router with the elastic capacity manager (demo polls it in the background)")
 		elasticMin  = flag.Int("elastic-min", 1, "elastic instance floor")
 		elasticMax  = flag.Int("elastic-max", 0, "elastic instance cap (0 = twice the initial instances)")
+		elasticPol  = flag.String("elastic-policy", "watermark", "elastic decision rule: watermark | predictive")
+		elasticMig  = flag.Bool("elastic-migrate", false, "enable live-chunk migration off draining instances")
 		demoOps     = flag.Int("demo-ops", 0, "drive this many ops through the stack and report per-layer stats")
 		workers     = flag.Int("workers", 8, "worker goroutines for -demo-ops")
 		latency     = flag.Bool("latency", false, "enable telemetry and print the per-layer latency percentile table (with -demo-ops)")
@@ -126,6 +133,8 @@ func main() {
 			elastic:     *elastic,
 			elasticMin:  *elasticMin,
 			elasticMax:  *elasticMax,
+			elasticPol:  *elasticPol,
+			elasticMig:  *elasticMig,
 			ops:         *demoOps,
 			workers:     *workers,
 			latency:     *latency,
@@ -150,6 +159,8 @@ type stackConfig struct {
 	elastic     bool
 	elasticMin  int
 	elasticMax  int
+	elasticPol  string
+	elasticMig  bool
 	ops         int
 	workers     int
 	latency     bool
@@ -164,10 +175,20 @@ func demo(sc stackConfig) {
 		opts = append(opts, nbbs.WithInstances(sc.instances))
 	}
 	if sc.elastic {
-		opts = append(opts, nbbs.WithElastic(nbbs.ElasticConfig{
+		ec := nbbs.ElasticConfig{
 			MinInstances: sc.elasticMin,
 			MaxInstances: sc.elasticMax,
-		}))
+			Migration:    nbbs.MigrationConfig{Enabled: sc.elasticMig},
+		}
+		switch sc.elasticPol {
+		case "", "watermark":
+		case "predictive":
+			ec.Policy = nbbs.NewPredictivePolicy(nbbs.PredictiveConfig{})
+		default:
+			fmt.Fprintf(os.Stderr, "nbbsinfo: unknown -elastic-policy %q (watermark | predictive)\n", sc.elasticPol)
+			os.Exit(1)
+		}
+		opts = append(opts, nbbs.WithElastic(ec))
 	}
 	if sc.cached {
 		opts = append(opts, nbbs.WithFrontend(sc.magazine))
@@ -197,9 +218,13 @@ func demo(sc stackConfig) {
 	}
 
 	fmt.Printf("\nstack demo: %s, %d ops over %d workers\n", b.Name(), sc.ops, sc.workers)
-	if mgr := b.Elastic(); mgr != nil {
+	if mgr := b.Elastic(); mgr != nil && !sc.elasticMig {
 		// Run the capacity policy in the background while the demo load is
 		// on, so the printed lifecycle counters reflect real transitions.
+		// With -elastic-migrate the poller stays off during the load: a
+		// migrating Poll must not race the workers freeing their held
+		// chunks (the quiescence contract) — the migration showcase runs
+		// single-threaded after the workers join.
 		mgr.Start(500 * time.Microsecond)
 		defer mgr.Stop()
 	}
@@ -347,18 +372,45 @@ func demo(sc stackConfig) {
 		}
 	}
 
+	// Migration showcase: strand a few chunks on a slot, drain it, and
+	// let the Migrate step move them — everything from this single
+	// goroutine (the workers have joined), so the quiescence contract of
+	// migration holds by construction.
+	if mgr := b.Elastic(); mgr != nil && sc.elasticMig {
+		migrationShowcase(b, mgr)
+	}
+
 	if mgr := b.Elastic(); mgr != nil {
 		cfg := mgr.Config()
 		c := mgr.Counters()
 		fmt.Printf("\nelastic capacity manager:\n")
-		fmt.Printf("  watermarks: grow >= %.0f%% utilization, shrink <= %.0f%% (hysteresis %d polls)\n",
-			cfg.HighWater*100, cfg.LowWater*100, cfg.Hysteresis)
+		fmt.Printf("  policy: %s\n", mgr.Policy().Name())
+		if p, ok := mgr.Policy().(*nbbs.PredictivePolicy); ok {
+			ewma, slope := p.State()
+			fmt.Printf("  estimator: ewma=%.3f utilization, slope=%+.5f per poll\n", ewma, slope)
+		} else {
+			fmt.Printf("  watermarks: grow >= %.0f%% utilization, shrink <= %.0f%% (hysteresis %d polls)\n",
+				cfg.HighWater*100, cfg.LowWater*100, cfg.Hysteresis)
+		}
 		fmt.Printf("  fleet bounds: %d..%d instances\n", cfg.MinInstances, cfg.MaxInstances)
 		fmt.Printf("  lifecycle: polls=%d grows=%d reactivations=%d drains=%d retires=%d denied_at_cap=%d\n",
 			c.Polls, c.Grows, c.Reactivations, c.Drains, c.Retires, c.DeniedAtCap)
 		if c.GrowFailures+c.GrowRetries+c.DeniedBackpressure+c.RetireFailures > 0 {
 			fmt.Printf("  degradation: grow_failures=%d grow_retries=%d denied_backpressure=%d retire_failures=%d\n",
 				c.GrowFailures, c.GrowRetries, c.DeniedBackpressure, c.RetireFailures)
+		}
+		if cfg.Migration.Enabled {
+			fmt.Printf("  migration: moved=%d chunk(s), %d bytes, refused_passes=%d\n",
+				c.MigratedChunks, c.MigratedBytes, c.MigrateFails)
+			if c.Retires > 0 {
+				fmt.Printf("  last retirement: %d poll(s) from drain start\n", c.LastRetirePolls)
+			}
+		}
+		if ages := mgr.DrainAges(); len(ages) > 0 {
+			fmt.Printf("  still draining (time-to-retire pending):\n")
+			for _, a := range ages {
+				fmt.Printf("    slot %-3d draining for %d poll(s), %d live chunk(s)\n", a.Slot, a.Polls, a.Live)
+			}
 		}
 		span := mgr.Router().InstanceSpan()
 		fmt.Printf("  per-instance utilization (%d-byte windows):\n", span)
@@ -368,6 +420,85 @@ func demo(sc stackConfig) {
 				info.Slot, info.State, info.Live, info.LiveBytes,
 				float64(info.LiveBytes)/float64(span)*100)
 		}
+	}
+}
+
+// migrationShowcase strands a few min-size chunks on a draining slot and
+// polls until the Migrate step has moved them and retired the slot. It
+// runs on the caller's goroutine only, after the demo workers joined:
+// migration requires that no owner frees a chunk concurrently with a
+// migrating Poll. The OnMigrate hook rewrites the held offsets — the
+// ownership contract every migration-aware owner implements.
+func migrationShowcase(b *nbbs.Buddy, mgr *nbbs.ElasticManager) {
+	m := b.Multi()
+	if m == nil {
+		return
+	}
+	// Make sure a second active slot exists to strand chunks on.
+	active := func() (n, highest int) {
+		highest = -1
+		for _, info := range m.InstanceInfos() {
+			if info.State == multi.Active {
+				n++
+				highest = info.Slot
+			}
+		}
+		return n, highest
+	}
+	n, victim := active()
+	if n < 2 {
+		if _, err := mgr.Grow(); err != nil {
+			fmt.Printf("\nlive-chunk migration showcase skipped: %v\n", err)
+			return
+		}
+		n, victim = active()
+		if n < 2 {
+			return
+		}
+	}
+	h := m.NewHandleOn(victim)
+	var held []uint64
+	for len(held) < 4 {
+		off, ok := h.Alloc(b.MinSize())
+		if !ok {
+			break
+		}
+		if m.InstanceOf(off) != victim {
+			h.Free(off) // fallback landed it elsewhere; not a straggler
+			break
+		}
+		held = append(held, off)
+	}
+	if len(held) == 0 {
+		return
+	}
+	mgr.OnMigrate(func(oldOff, newOff, _ uint64) {
+		for i := range held {
+			if held[i] == oldOff {
+				held[i] = newOff
+			}
+		}
+	})
+	if err := m.StartDrain(victim); err != nil {
+		for _, off := range held {
+			h.Free(off)
+		}
+		return
+	}
+	fmt.Printf("\nlive-chunk migration showcase: %d straggler(s) stranded on draining slot %d\n",
+		len(held), victim)
+	for i := 0; i < 8; i++ {
+		act := mgr.Poll()
+		if act.Migrated > 0 {
+			fmt.Printf("  poll %d moved %d chunk(s) onto active slots\n", i+1, act.Migrated)
+		}
+		if len(act.Retired) > 0 {
+			fmt.Printf("  poll %d retired slot(s) %v — retirement bounded by migration\n", i+1, act.Retired)
+			break
+		}
+	}
+	for _, off := range held {
+		h.Free(off) // final — possibly rewritten — addresses
 	}
 }
 

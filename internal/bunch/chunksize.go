@@ -19,6 +19,18 @@ func (a *Allocator) ChunkSize(offset uint64) uint64 {
 	return a.geo.SizeOf(uint64(n))
 }
 
+// WalkLive implements alloc.LiveWalker (see the identical method on the
+// 1-level allocator for the concurrency contract).
+func (a *Allocator) WalkLive(fn func(offset, size uint64) bool) {
+	for slot := range a.index {
+		if n := a.index[slot].Load(); n != 0 {
+			if !fn(uint64(slot)*a.geo.MinSize, a.geo.SizeOf(uint64(n))) {
+				return
+			}
+		}
+	}
+}
+
 // FreeBytes returns an estimate of the currently allocatable memory (see
 // the identical method on the 1-level allocator).
 func (a *Allocator) FreeBytes() uint64 {

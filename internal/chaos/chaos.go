@@ -76,6 +76,9 @@ type Report struct {
 	// MidDrainKills counts retirements the harness interrupted with a
 	// forced decommit failure.
 	MidDrainKills int `json:"mid_drain_kills"`
+	// Migrations counts live chunks the capacity manager moved off
+	// draining slots during the run (composites with migration enabled).
+	Migrations int `json:"migrations,omitempty"`
 	// Ops counts workload operations that reached the allocator.
 	Ops uint64 `json:"ops"`
 	// Denied counts allocation attempts the degraded stack refused —
@@ -114,6 +117,12 @@ func buildComposite(label string, in *fault.Injector, reg *telemetry.Registry) (
 	}
 	switch label {
 	case "mapped+elastic":
+		// The bare router composite also runs the Migrate step: Polls may
+		// move live chunks off draining slots, widening the fault surface
+		// to mid-migration failures. The slab composite must NOT enable it
+		// — slab runs hold router-live chunks whose offsets are cached in
+		// the class headers, so a move would strand them.
+		spec.Elastic.Migration = elastic.MigrationConfig{Enabled: true}
 	case "slab+mapped+elastic":
 		spec.Slab = true
 	default:
@@ -273,6 +282,41 @@ func Run(cfg Config) (rep Report) {
 		if s, ok := a.(alloc.Scrubber); ok {
 			s.Scrub()
 		}
+	}
+
+	// Migration interleave: with the Migrate step enabled, a Poll may
+	// move live chunks off a draining slot. The hook rewrites the oracle
+	// in place — it runs before Poll returns and the workload is a single
+	// goroutine, so `live` is current again before the next operation.
+	// The moved chunk must land on units the oracle has free, or the move
+	// itself double-handed-out memory.
+	if mgr.Config().Migration.Enabled {
+		mgr.OnMigrate(func(oldOff, newOff, size uint64) {
+			for i := range live {
+				if live[i].off != oldOff {
+					continue
+				}
+				c := &live[i]
+				if c.reserved != size {
+					rep.failf("step %d: migrated %#x with size %d, oracle reserved %d", step, oldOff, size, c.reserved)
+					return
+				}
+				for u := c.off / geo.MinSize; u < (c.off+c.reserved)/geo.MinSize; u++ {
+					delete(occupied, u)
+				}
+				c.off = newOff
+				for u := c.off / geo.MinSize; u < (c.off+c.reserved)/geo.MinSize; u++ {
+					if occupied[u] {
+						rep.failf("step %d: migration to %#x double-hands-out unit %d", step, newOff, u)
+						return
+					}
+					occupied[u] = true
+				}
+				rep.Migrations++
+				return
+			}
+			rep.failf("step %d: migrated offset %#x unknown to the oracle", step, oldOff)
+		})
 	}
 
 	// Phase 1: the random walk under the active fault schedule.

@@ -30,6 +30,9 @@ func TestRunHoldsInvariantsAndRecovers(t *testing.T) {
 			if rep.MidDrainKills == 0 {
 				t.Errorf("%s seed %d: the mid-drain kill scenario did not run", composite, seed)
 			}
+			if composite == "mapped+elastic" && !testing.Short() && rep.Migrations == 0 {
+				t.Errorf("%s seed %d: the migration path was never exercised", composite, seed)
+			}
 		}
 	}
 }

@@ -66,7 +66,10 @@ var (
 	ErrBackpressure = errors.New("elastic: grow backpressure")
 )
 
-// Config is the watermark policy of a capacity manager.
+// Config is the capacity policy of a manager: fleet bounds, the
+// watermark thresholds (which parameterize the default WatermarkPolicy
+// and remain the vocabulary of both built-in policies), grow backoff,
+// and the optional migration step of the retire path.
 type Config struct {
 	// MinInstances is the floor the manager never drains below (>= 1;
 	// 0 means 1).
@@ -91,6 +94,15 @@ type Config struct {
 	GrowRetryBase time.Duration
 	// GrowRetryMax caps the grow backoff (0 means DefaultGrowRetryMax).
 	GrowRetryMax time.Duration
+	// Policy, when non-nil, replaces the built-in watermark rule as the
+	// grow/shrink decision maker (see Policy). Nil builds a
+	// WatermarkPolicy from the watermark fields above — the pre-policy
+	// behavior, bit for bit. The instance must not be shared between
+	// managers (policies keep per-fleet state).
+	Policy Policy
+	// Migration tunes the live-chunk migration step of the retire path;
+	// the zero value disables it (see MigrationConfig).
+	Migration MigrationConfig
 }
 
 func (c Config) withDefaults(initial int) Config {
@@ -118,6 +130,9 @@ func (c Config) withDefaults(initial int) Config {
 	if c.GrowRetryMax < c.GrowRetryBase {
 		c.GrowRetryMax = c.GrowRetryBase
 	}
+	if c.Migration.Enabled {
+		c.Migration = c.Migration.withDefaults()
+	}
 	return c
 }
 
@@ -144,6 +159,17 @@ type Counters struct {
 	// RetireFailures counts TryRetire calls that errored (decommit
 	// failure); the slot stays draining and a later Poll retries.
 	RetireFailures uint64
+	// MigratedChunks/MigratedBytes count live chunks (and their reserved
+	// bytes) the migration step copied off draining slots.
+	MigratedChunks uint64
+	MigratedBytes  uint64
+	// MigrateFails counts migration passes cut short because the active
+	// fleet could not host a replacement chunk; the pass retries on a
+	// later Poll, after frees or a grow made room.
+	MigrateFails uint64
+	// LastRetirePolls is the drain age (in Poll steps) of the most recent
+	// retirement — the time-to-retire the straggler tests bound.
+	LastRetirePolls uint64
 }
 
 // Action reports what one Poll step did.
@@ -159,6 +185,8 @@ type Action struct {
 	DrainStarted int
 	// Retired lists slots unpublished by this step.
 	Retired []int
+	// Migrated counts live chunks moved off draining slots this step.
+	Migrated int
 	// DeniedAtCap reports a grow decision refused by MaxInstances.
 	DeniedAtCap bool
 	// DeniedBackpressure reports a grow decision suppressed by the
@@ -188,10 +216,16 @@ type Manager struct {
 	// table mutations have their own mutex; this one makes the policy
 	// read-decide-act sequence atomic).
 	mu       sync.Mutex
-	hiStreak int
-	loStreak int
+	policy   Policy
 	counters Counters
 	hooks    []DrainHook
+
+	// Migration state (under mu): the observer hooks, the manager's own
+	// router handle for alloc-new/free-old moves, and per-slot drain
+	// start steps for the time-to-retire gauge and the AfterPolls gate.
+	migrateHooks []MigrateHook
+	mig          alloc.Handle
+	drainSince   map[int]uint64
 
 	// Grow-failure backoff state (under mu). growStreak counts
 	// consecutive environmental failures; nextGrowAt gates the next
@@ -231,8 +265,22 @@ func New(inner *multi.Multi, cfg Config) (*Manager, error) {
 		return nil, fmt.Errorf("elastic: router starts with %d instances, above the %d cap", n, cfg.MaxInstances)
 	}
 	inner.EnableLiveTracking()
-	return &Manager{inner: inner, cfg: cfg, clock: time.Now, jitter: 0x9E3779B97F4A7C15}, nil
+	pol := cfg.Policy
+	if pol == nil {
+		pol = NewWatermarkPolicy(cfg.HighWater, cfg.LowWater, cfg.Hysteresis)
+	}
+	return &Manager{
+		inner:      inner,
+		cfg:        cfg,
+		policy:     pol,
+		drainSince: make(map[int]uint64),
+		clock:      time.Now,
+		jitter:     0x9E3779B97F4A7C15,
+	}, nil
 }
+
+// Policy returns the active decision rule.
+func (mgr *Manager) Policy() Policy { return mgr.policy }
 
 // SetClock replaces the manager's time source, which only backoff
 // decisions consult — tests and the chaos harness install a logical
@@ -319,10 +367,11 @@ func (mgr *Manager) drainRange(k int) {
 }
 
 // Poll performs one observation/decision step: finish pending retires
-// whose slots reached zero live chunks, then compare utilization against
-// the watermarks and grow or start a drain when the hysteresis streak is
-// met. Poll is safe to call concurrently with allocator traffic; decision
-// steps serialize on the manager's mutex.
+// whose slots reached zero live chunks (migrating stragglers off slots
+// that waited long enough, when migration is enabled), then hand the
+// policy one observation and act on its decision. Poll is safe to call
+// concurrently with allocator traffic; decision steps serialize on the
+// manager's mutex.
 func (mgr *Manager) Poll() Action {
 	mgr.mu.Lock()
 	defer mgr.mu.Unlock()
@@ -331,13 +380,26 @@ func (mgr *Manager) Poll() Action {
 
 	// Phase 1: push pending drains toward zero live and retire the ones
 	// that got there. The depot hook runs first so magazines parked since
-	// the last Poll go back down before the live check.
+	// the last Poll go back down before the live check; migration runs
+	// last, once a slot has waited AfterPolls steps — the cheap paths get
+	// that long to empty it for free before chunks are copied.
 	for _, info := range mgr.inner.InstanceInfos() {
 		if info.State != multi.Draining {
 			continue
 		}
+		if _, ok := mgr.drainSince[info.Slot]; !ok {
+			// Drains started behind the manager's back (direct router
+			// calls) are adopted with their age starting now.
+			mgr.drainSince[info.Slot] = mgr.counters.Polls
+		}
 		mgr.drainRange(info.Slot)
 		done, err := mgr.inner.TryRetire(info.Slot)
+		if err == nil && !done && mgr.cfg.Migration.Enabled &&
+			mgr.counters.Polls-mgr.drainSince[info.Slot] >= uint64(mgr.cfg.Migration.AfterPolls) {
+			if mgr.migrateSlot(info.Slot, &act) > 0 {
+				done, err = mgr.inner.TryRetire(info.Slot)
+			}
+		}
 		switch {
 		case err != nil:
 			// A decommit failure left the slot published and draining;
@@ -347,36 +409,68 @@ func (mgr *Manager) Poll() Action {
 			mgr.emit("retire-fail", uint64(info.Slot), 0)
 		case done:
 			mgr.counters.Retires++
+			mgr.retireAge(info.Slot)
 			act.Retired = append(act.Retired, info.Slot)
 			mgr.emit("retire", uint64(info.Slot), 0)
 		}
 	}
 
-	// Phase 2: watermark policy over the active set.
+	// Phase 2: the policy decides over one observation of the active set.
 	used, capacity := mgr.usage()
 	if capacity == 0 {
 		return act
 	}
 	act.Utilization = float64(used) / float64(capacity)
-	switch {
-	case act.Utilization >= mgr.cfg.HighWater:
-		mgr.loStreak = 0
-		mgr.hiStreak++
-		if mgr.hiStreak >= mgr.cfg.Hysteresis {
-			mgr.hiStreak = 0
-			mgr.grow(&act)
-		}
-	case act.Utilization <= mgr.cfg.LowWater:
-		mgr.hiStreak = 0
-		mgr.loStreak++
-		if mgr.loStreak >= mgr.cfg.Hysteresis {
-			mgr.loStreak = 0
-			mgr.shrink(&act)
-		}
-	default:
-		mgr.hiStreak, mgr.loStreak = 0, 0
+	switch d := mgr.policy.Decide(mgr.observe(act.Utilization, used, capacity)); d.Kind {
+	case GrowOne:
+		mgr.grow(&act)
+	case DrainSlot:
+		mgr.shrinkSlot(d.Slot, &act)
 	}
 	return act
+}
+
+// observe assembles the policy input for one step. Called with mu held,
+// Polls already incremented — the step clock is the Poll counter, so
+// policies reasoning about time replay deterministically.
+func (mgr *Manager) observe(utilization float64, used, capacity int64) Observation {
+	infos := mgr.inner.InstanceInfos()
+	o := Observation{
+		Step:        mgr.counters.Polls,
+		Utilization: utilization,
+		Floor:       mgr.cfg.MinInstances,
+		Cap:         mgr.cfg.MaxInstances,
+		Slots:       make([]SlotObs, len(infos)),
+	}
+	span := float64(mgr.inner.InstanceSpan())
+	for i, info := range infos {
+		o.Slots[i] = SlotObs{
+			Slot:      info.Slot,
+			State:     info.State,
+			Live:      info.Live,
+			LiveBytes: info.LiveBytes,
+		}
+		if span > 0 {
+			o.Slots[i].Utilization = float64(info.LiveBytes) / span
+		}
+		switch info.State {
+		case multi.Active:
+			o.Active++
+			o.Published++
+		case multi.Draining:
+			o.Published++
+		}
+	}
+	return o
+}
+
+// retireAge folds a retiring slot's drain age into the bookkeeping.
+// Called with mu held.
+func (mgr *Manager) retireAge(k int) {
+	if since, ok := mgr.drainSince[k]; ok {
+		mgr.counters.LastRetirePolls = mgr.counters.Polls - since
+		delete(mgr.drainSince, k)
+	}
 }
 
 // grow publishes capacity: a draining slot is re-activated when one
@@ -389,6 +483,7 @@ func (mgr *Manager) grow(act *Action) {
 		if info.State == multi.Draining {
 			if err := mgr.inner.Reactivate(info.Slot); err == nil {
 				mgr.counters.Reactivations++
+				delete(mgr.drainSince, info.Slot)
 				act.Reactivated = info.Slot
 				mgr.emit("reactivate", uint64(info.Slot), 0)
 				return
@@ -449,19 +544,22 @@ func (mgr *Manager) backoff() time.Duration {
 	return d + time.Duration(mgr.jitter%uint64(d/2+1))
 }
 
-// shrink starts draining the least-utilized active slot, keeping at
-// least MinInstances active. Called with mu held.
-func (mgr *Manager) shrink(act *Action) {
+// shrinkSlot starts draining the given active slot (victim < 0 picks the
+// least-utilized one), keeping at least MinInstances active. Called with
+// mu held.
+func (mgr *Manager) shrinkSlot(victim int, act *Action) {
 	if mgr.inner.ActiveInstances() <= mgr.cfg.MinInstances {
 		return
 	}
-	victim, best := -1, int64(0)
-	for _, info := range mgr.inner.InstanceInfos() {
-		if info.State != multi.Active {
-			continue
-		}
-		if victim < 0 || info.LiveBytes < best {
-			victim, best = info.Slot, info.LiveBytes
+	if victim < 0 {
+		best := int64(0)
+		for _, info := range mgr.inner.InstanceInfos() {
+			if info.State != multi.Active {
+				continue
+			}
+			if victim < 0 || info.LiveBytes < best {
+				victim, best = info.Slot, info.LiveBytes
+			}
 		}
 	}
 	if victim < 0 {
@@ -471,6 +569,7 @@ func (mgr *Manager) shrink(act *Action) {
 		return
 	}
 	mgr.counters.Drains++
+	mgr.drainSince[victim] = mgr.counters.Polls
 	act.DrainStarted = victim
 	mgr.emit("drain", uint64(victim), 0)
 	mgr.drainRange(victim)
@@ -482,6 +581,7 @@ func (mgr *Manager) shrink(act *Action) {
 		mgr.emit("retire-fail", uint64(victim), 0)
 	case done:
 		mgr.counters.Retires++
+		mgr.retireAge(victim)
 		act.Retired = append(act.Retired, victim)
 		mgr.emit("retire", uint64(victim), 0)
 	}
@@ -525,16 +625,12 @@ func (mgr *Manager) Shrink() (int, error) {
 	defer mgr.mu.Unlock()
 	var act Action
 	act.Grew, act.Reactivated, act.DrainStarted = -1, -1, -1
-	mgr.shrink(&act)
+	mgr.shrinkSlot(-1, &act)
 	if act.DrainStarted < 0 {
 		return -1, fmt.Errorf("elastic: at the %d-instance floor", mgr.cfg.MinInstances)
 	}
 	return act.DrainStarted, nil
 }
-
-// Tick is Poll for callers that only want to advance the lifecycle (the
-// workload drivers poll through this single-method interface).
-func (mgr *Manager) Tick() { mgr.Poll() }
 
 // Start launches a background goroutine Polling every interval until
 // Stop. A second Start without Stop is a no-op. The goroutine is
@@ -659,6 +755,13 @@ func (mgr *Manager) LayerStats() []alloc.LayerStats {
 	}
 	if c.RetireFailures > 0 {
 		entry.Extra["elastic_retire_failures"] = c.RetireFailures
+	}
+	if c.MigratedChunks > 0 {
+		entry.Extra["elastic_migrated"] = c.MigratedChunks
+		entry.Extra["elastic_migrated_bytes"] = c.MigratedBytes
+	}
+	if c.MigrateFails > 0 {
+		entry.Extra["elastic_migrate_fails"] = c.MigrateFails
 	}
 	return append([]alloc.LayerStats{entry}, alloc.StackStats(mgr.inner)...)
 }

@@ -1,0 +1,272 @@
+package elastic_test
+
+import (
+	"syscall"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/elastic"
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/multi"
+)
+
+// strandedSlot builds a 2-instance manager with one live chunk pinned on
+// slot 1 and slot 1 draining — the straggler scenario. The chunk's
+// offset is returned; the drain was started directly on the router, so
+// the manager adopts it on its first Poll.
+func strandedSlot(t *testing.T, cfg elastic.Config) (*elastic.Manager, uint64) {
+	t.Helper()
+	mgr := manager(t, 2, cfg)
+	m := mgr.Router()
+	h := m.NewHandleOn(1)
+	off, ok := h.Alloc(per.MinSize)
+	if !ok || m.InstanceOf(off) != 1 {
+		t.Fatalf("pinned alloc = (%v, instance %d)", ok, m.InstanceOf(off))
+	}
+	if err := m.StartDrain(1); err != nil {
+		t.Fatal(err)
+	}
+	return mgr, off
+}
+
+// TestStragglerStallsWithoutMigration is the regression pin of the
+// pre-migration behavior: a draining slot whose last chunk belongs to a
+// long-lived owner survives any number of polls and retires only when
+// the owner finally frees.
+func TestStragglerStallsWithoutMigration(t *testing.T) {
+	mgr, off := strandedSlot(t, elastic.Config{MinInstances: 1, MaxInstances: 2, Hysteresis: 100})
+	for i := 0; i < 20; i++ {
+		if act := mgr.Poll(); len(act.Retired) != 0 || act.Migrated != 0 {
+			t.Fatalf("poll %d on a migration-disabled manager: %+v", i, act)
+		}
+	}
+	ages := mgr.DrainAges()
+	if len(ages) != 1 || ages[0].Slot != 1 || ages[0].Polls != 19 || ages[0].Live != 1 {
+		t.Fatalf("DrainAges after 20 stalled polls: %+v", ages)
+	}
+	mgr.Free(off)
+	if act := mgr.Poll(); len(act.Retired) != 1 {
+		t.Fatalf("poll after the owner's free: %+v", act)
+	}
+}
+
+// TestMigrationBoundsTimeToRetire is the tentpole property: with
+// migration enabled the same stranded slot retires within
+// AfterPolls + 1 polls — the manager copies the straggler onto an active
+// slot and completes the retirement in the same step.
+func TestMigrationBoundsTimeToRetire(t *testing.T) {
+	mgr, off := strandedSlot(t, elastic.Config{
+		MinInstances: 1, MaxInstances: 2, Hysteresis: 100,
+		Migration: elastic.MigrationConfig{Enabled: true},
+	})
+	var moved []uint64
+	mgr.OnMigrate(func(oldOff, newOff, size uint64) {
+		if oldOff != off {
+			t.Errorf("migrated %#x, straggler is %#x", oldOff, off)
+		}
+		if size != per.MinSize {
+			t.Errorf("migrated size %d, want %d", size, per.MinSize)
+		}
+		moved = append(moved, newOff)
+	})
+
+	// Poll 1 adopts the drain (age 0 < AfterPolls): no migration yet —
+	// the cheap paths get their window.
+	if act := mgr.Poll(); act.Migrated != 0 || len(act.Retired) != 0 {
+		t.Fatalf("first poll migrated early: %+v", act)
+	}
+	// Poll 2 (age 1 >= AfterPolls): migrate, then retire in the same step.
+	act := mgr.Poll()
+	if act.Migrated != 1 || len(act.Retired) != 1 || act.Retired[0] != 1 {
+		t.Fatalf("second poll: %+v, want 1 migrated + slot 1 retired", act)
+	}
+	if len(moved) != 1 {
+		t.Fatalf("OnMigrate hook ran %d times", len(moved))
+	}
+	newOff := moved[0]
+	m := mgr.Router()
+	if m.InstanceOf(newOff) != 0 {
+		t.Fatalf("straggler landed on instance %d, want the active slot 0", m.InstanceOf(newOff))
+	}
+	c := mgr.Counters()
+	if c.MigratedChunks != 1 || c.MigratedBytes != per.MinSize || c.Retires != 1 {
+		t.Fatalf("counters after migration: %+v", c)
+	}
+	if c.LastRetirePolls > 2 {
+		t.Fatalf("time-to-retire %d polls, want <= AfterPolls+1 = 2", c.LastRetirePolls)
+	}
+	// The owner's reference was rewritten: the new offset is live and
+	// freeable, and the layer accounting balances afterwards.
+	if got := mgr.ChunkSize(newOff); got != per.MinSize {
+		t.Fatalf("ChunkSize(new) = %d", got)
+	}
+	mgr.Free(newOff)
+	s := mgr.Stats()
+	if s.Allocs != s.Frees {
+		t.Fatalf("allocs %d != frees %d after migration round-trip", s.Allocs, s.Frees)
+	}
+}
+
+// TestMigrationCopiesBytes pins the contents contract on a mapped stack:
+// the bytes written through the straggler's old window are readable
+// through the new one after the move.
+func TestMigrationCopiesBytes(t *testing.T) {
+	m, err := multi.New("4lvl-nb", 2, per, multi.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableLiveTracking()
+	r, err := mem.New(m.InstanceSpan(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindMemory(r); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := elastic.New(m, elastic.Config{
+		MinInstances: 1, MaxInstances: 2, Hysteresis: 100,
+		Migration: elastic.MigrationConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.NewHandleOn(1)
+	off, ok := h.Alloc(per.MinSize)
+	if !ok || m.InstanceOf(off) != 1 {
+		t.Fatalf("pinned alloc = (%v, instance %d)", ok, m.InstanceOf(off))
+	}
+	span := m.InstanceSpan()
+	src := r.Bytes(1, off%span, per.MinSize)
+	for i := range src {
+		src[i] = byte(0xA0 ^ i)
+	}
+	if err := m.StartDrain(1); err != nil {
+		t.Fatal(err)
+	}
+	var newOff uint64
+	mgr.OnMigrate(func(_, n, _ uint64) { newOff = n })
+	mgr.Poll()
+	act := mgr.Poll()
+	if act.Migrated != 1 || len(act.Retired) != 1 {
+		t.Fatalf("migrating poll: %+v", act)
+	}
+	dst := r.Bytes(m.InstanceOf(newOff), newOff%span, per.MinSize)
+	for i := range dst {
+		if dst[i] != byte(0xA0^i) {
+			t.Fatalf("byte %d: %#x, want %#x — contents not copied", i, dst[i], byte(0xA0^i))
+		}
+	}
+	mgr.Free(newOff)
+}
+
+// TestMigrationRetriesWhenFleetFull pins the partial-pass contract: when
+// no active slot can host the replacement, the pass stops cleanly — the
+// straggler stays fully intact at its old offset, MigrateFails counts
+// the refusal — and a later poll (after room appears) completes the move.
+func TestMigrationRetriesWhenFleetFull(t *testing.T) {
+	mgr, off := strandedSlot(t, elastic.Config{
+		MinInstances: 1, MaxInstances: 2, Hysteresis: 100,
+		Migration: elastic.MigrationConfig{Enabled: true},
+	})
+	m := mgr.Router()
+	// Fill the only active slot so migration has nowhere to go.
+	h0 := m.NewHandleOn(0)
+	var fill []uint64
+	for {
+		got := alloc.HandleAllocBatch(h0, per.MaxSize, 4)
+		fill = append(fill, got...)
+		if len(got) < 4 {
+			break
+		}
+	}
+	for {
+		o, ok := h0.Alloc(per.MinSize)
+		if !ok {
+			break
+		}
+		fill = append(fill, o)
+	}
+	mgr.Poll() // adopt
+	act := mgr.Poll()
+	if act.Migrated != 0 || len(act.Retired) != 0 {
+		t.Fatalf("migration succeeded into a full fleet: %+v", act)
+	}
+	if c := mgr.Counters(); c.MigrateFails == 0 || c.MigratedChunks != 0 {
+		t.Fatalf("counters after refused pass: %+v", c)
+	}
+	// Untouched: the straggler is still live at its old offset.
+	if got := mgr.ChunkSize(off); got != per.MinSize {
+		t.Fatalf("straggler missing after refused pass: ChunkSize = %d", got)
+	}
+	// Make room; the next poll completes the move and the retirement.
+	alloc.HandleFreeBatch(h0, fill)
+	var newOff uint64
+	mgr.OnMigrate(func(_, n, _ uint64) { newOff = n })
+	act = mgr.Poll()
+	if act.Migrated != 1 || len(act.Retired) != 1 {
+		t.Fatalf("poll after making room: %+v", act)
+	}
+	mgr.Free(newOff)
+}
+
+// TestMigrationRetireFaultRollsBack pins graceful degradation around the
+// retire step: migration empties the slot, the decommit fails, and the
+// slot simply stays draining — nothing is lost, no chunk is half-moved —
+// until a later poll retries after the fault clears.
+func TestMigrationRetireFaultRollsBack(t *testing.T) {
+	m, err := multi.New("4lvl-nb", 2, per, multi.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableLiveTracking()
+	in := fault.New(3)
+	r, err := mem.New(m.InstanceSpan(), 2, mem.WithFaultInjector(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindMemory(r); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := elastic.New(m, elastic.Config{
+		MinInstances: 1, MaxInstances: 2, Hysteresis: 100,
+		Migration: elastic.MigrationConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := m.NewHandleOn(1)
+	off, ok := h.Alloc(per.MinSize)
+	if !ok {
+		t.Fatal("pinned alloc failed")
+	}
+	_ = off
+	if err := m.StartDrain(1); err != nil {
+		t.Fatal(err)
+	}
+	var newOff uint64
+	mgr.OnMigrate(func(_, n, _ uint64) { newOff = n })
+	in.Set(fault.FailAlways(fault.Decommit, syscall.EAGAIN))
+	mgr.Poll() // adopt; retire not attempted past live check
+	act := mgr.Poll()
+	if act.Migrated != 1 {
+		t.Fatalf("migration under a decommit fault: %+v", act)
+	}
+	if len(act.Retired) != 0 {
+		t.Fatal("retire succeeded despite the decommit fault")
+	}
+	c := mgr.Counters()
+	if c.RetireFailures == 0 {
+		t.Fatalf("no retire failure recorded: %+v", c)
+	}
+	// The move itself completed: the chunk is live at its new home.
+	if got := mgr.ChunkSize(newOff); got != per.MinSize {
+		t.Fatalf("ChunkSize(new) = %d under retire fault", got)
+	}
+	in.Clear()
+	act = mgr.Poll()
+	if len(act.Retired) != 1 || act.Retired[0] != 1 {
+		t.Fatalf("poll after clearing the fault: %+v", act)
+	}
+	mgr.Free(newOff)
+}

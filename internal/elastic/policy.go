@@ -1,0 +1,268 @@
+// The pluggable grow/shrink decision seam of the capacity manager.
+//
+// The manager separates mechanism from policy: Poll owns the lifecycle
+// mechanics (retire passes, drain hooks, migration, the grow backoff
+// ladder) and delegates the single question "should the fleet change?"
+// to a Policy. A policy sees one Observation per step — per-slot
+// utilization/live-bytes snapshots plus a monotonic step clock — and
+// answers with a typed Decision. The reactive watermark rule the manager
+// shipped with is WatermarkPolicy (the default, bit-for-bit the old
+// behavior); PredictivePolicy layers an EWMA + slope estimator on top to
+// pre-grow ahead of ramps and hold shrink through transient troughs.
+package elastic
+
+import "repro/internal/multi"
+
+// DecisionKind enumerates what a policy wants done to the fleet.
+type DecisionKind int
+
+const (
+	// Hold leaves the instance set as it is.
+	Hold DecisionKind = iota
+	// GrowOne asks for one more active instance (a reactivated drain or
+	// a fresh publish; the manager owns the mechanism and the backoff).
+	GrowOne
+	// DrainSlot asks to start draining one slot (Decision.Slot; -1 lets
+	// the manager pick the least-utilized active slot).
+	DrainSlot
+)
+
+func (k DecisionKind) String() string {
+	switch k {
+	case GrowOne:
+		return "grow-one"
+	case DrainSlot:
+		return "drain-slot"
+	default:
+		return "hold"
+	}
+}
+
+// Decision is one policy verdict for one observation step.
+type Decision struct {
+	Kind DecisionKind
+	// Slot is the drain victim for DrainSlot (-1 = manager picks the
+	// least-utilized active slot); ignored otherwise.
+	Slot int
+}
+
+// SlotObs is one slot's snapshot inside an Observation.
+type SlotObs struct {
+	// Slot is the table position (== offset window index).
+	Slot int
+	// State is the lifecycle state (multi.Active/Draining/Retired).
+	State multi.State
+	// Live is the slot's delivered, not-yet-freed chunk count.
+	Live int64
+	// LiveBytes is the reserved bytes of those chunks.
+	LiveBytes int64
+	// Utilization is LiveBytes over the instance span.
+	Utilization float64
+}
+
+// Observation is the input of one policy step: the fleet shape, the
+// aggregate utilization the watermarks are defined over, per-slot
+// snapshots, and a monotonic step clock (the manager's Poll counter —
+// policies that reason about time reason in steps, never wall clock, so
+// decisions replay deterministically).
+type Observation struct {
+	// Step is the monotonic observation counter (the Poll count).
+	Step uint64
+	// Utilization is live bytes over active capacity.
+	Utilization float64
+	// Active and Published count the slots accepting allocations and the
+	// slots occupying table positions (active + draining).
+	Active, Published int
+	// Floor and Cap are the manager's MinInstances/MaxInstances bounds,
+	// so a policy can avoid asking for what the manager must refuse.
+	Floor, Cap int
+	// Slots holds one snapshot per table slot, retired holes included.
+	Slots []SlotObs
+}
+
+// LeastUtilizedActive returns the active slot with the fewest live bytes
+// (-1 when none) — the canonical drain-victim choice.
+func LeastUtilizedActive(o Observation) int {
+	victim, best := -1, int64(0)
+	for _, s := range o.Slots {
+		if s.State != multi.Active {
+			continue
+		}
+		if victim < 0 || s.LiveBytes < best {
+			victim, best = s.Slot, s.LiveBytes
+		}
+	}
+	return victim
+}
+
+// Policy is the pluggable grow/shrink decision rule. Decide is called
+// once per Poll under the manager's decision mutex; implementations may
+// keep state between calls (streaks, EWMAs) but must not be shared
+// between managers, and must not call back into the manager.
+type Policy interface {
+	// Name labels the policy for introspection (nbbsinfo, tests).
+	Name() string
+	// Decide maps one observation to one fleet decision.
+	Decide(o Observation) Decision
+}
+
+// WatermarkPolicy is the reactive hysteresis rule the manager shipped
+// with, extracted verbatim: utilization at or above High for Hysteresis
+// consecutive steps asks for one grow; at or below Low for Hysteresis
+// consecutive steps asks to drain the least-utilized active slot; any
+// step in between resets both streaks.
+type WatermarkPolicy struct {
+	High, Low  float64
+	Hysteresis int
+
+	hiStreak, loStreak int
+}
+
+// NewWatermarkPolicy builds the reactive watermark rule. Zero values
+// take the manager defaults (DefaultHighWater/LowWater/Hysteresis).
+func NewWatermarkPolicy(high, low float64, hysteresis int) *WatermarkPolicy {
+	if high <= 0 {
+		high = DefaultHighWater
+	}
+	if low <= 0 {
+		low = DefaultLowWater
+	}
+	if hysteresis <= 0 {
+		hysteresis = DefaultHysteresis
+	}
+	return &WatermarkPolicy{High: high, Low: low, Hysteresis: hysteresis}
+}
+
+// Name implements Policy.
+func (p *WatermarkPolicy) Name() string { return "watermark" }
+
+// Decide implements Policy.
+func (p *WatermarkPolicy) Decide(o Observation) Decision {
+	switch {
+	case o.Utilization >= p.High:
+		p.loStreak = 0
+		p.hiStreak++
+		if p.hiStreak >= p.Hysteresis {
+			p.hiStreak = 0
+			return Decision{Kind: GrowOne}
+		}
+	case o.Utilization <= p.Low:
+		p.hiStreak = 0
+		p.loStreak++
+		if p.loStreak >= p.Hysteresis {
+			p.loStreak = 0
+			return Decision{Kind: DrainSlot, Slot: LeastUtilizedActive(o)}
+		}
+	default:
+		p.hiStreak, p.loStreak = 0, 0
+	}
+	return Decision{Kind: Hold, Slot: -1}
+}
+
+// Predictive-policy defaults.
+const (
+	// DefaultPredictiveAlpha smooths the utilization EWMA: high enough
+	// to track a ramp within a few steps, low enough that one spike
+	// does not read as a trend.
+	DefaultPredictiveAlpha = 0.5
+	// DefaultPredictiveBeta smooths the slope estimate (the EWMA of the
+	// EWMA's own deltas).
+	DefaultPredictiveBeta = 0.5
+	// DefaultPredictiveHorizon is how many steps ahead the estimator
+	// extrapolates when testing the high watermark — the pre-grow lead.
+	DefaultPredictiveHorizon = 4.0
+	// predictiveDrift is the slope magnitude treated as "flat": a shrink
+	// is only considered while the trend is below it, so a trough with
+	// pressure already returning is ridden out instead of drained into.
+	predictiveDrift = 0.005
+)
+
+// PredictiveConfig tunes a PredictivePolicy; zero fields take defaults.
+type PredictiveConfig struct {
+	// HighWater/LowWater are the same thresholds the watermark rule
+	// uses; the predictor tests its extrapolation against High and its
+	// smoothed utilization against Low.
+	HighWater, LowWater float64
+	// Hysteresis is the shrink-side streak (grows are deliberately
+	// un-hystereted: the whole point is acting before the ramp peaks,
+	// and the slope test already filters one-step spikes).
+	Hysteresis int
+	// Alpha smooths the utilization EWMA (0 = DefaultPredictiveAlpha).
+	Alpha float64
+	// Beta smooths the slope estimate (0 = DefaultPredictiveBeta).
+	Beta float64
+	// Horizon is the extrapolation lead in steps (0 = default).
+	Horizon float64
+}
+
+// PredictivePolicy is the EWMA + slope estimator: it grows when the
+// utilization trend, extrapolated Horizon steps ahead, will cross the
+// high watermark — so capacity is published before the burst needs it,
+// when the environment is still healthy enough to commit memory — and
+// it shrinks only when the smoothed utilization sits below the low
+// watermark with a flat-or-falling trend, so a transient trough inside
+// a sawtooth does not flap the instance set.
+type PredictivePolicy struct {
+	cfg PredictiveConfig
+
+	ewma, slope float64
+	seeded      bool
+	loStreak    int
+}
+
+// NewPredictivePolicy builds the EWMA + slope policy.
+func NewPredictivePolicy(cfg PredictiveConfig) *PredictivePolicy {
+	if cfg.HighWater <= 0 {
+		cfg.HighWater = DefaultHighWater
+	}
+	if cfg.LowWater <= 0 {
+		cfg.LowWater = DefaultLowWater
+	}
+	if cfg.Hysteresis <= 0 {
+		cfg.Hysteresis = DefaultHysteresis
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = DefaultPredictiveAlpha
+	}
+	if cfg.Beta <= 0 || cfg.Beta > 1 {
+		cfg.Beta = DefaultPredictiveBeta
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = DefaultPredictiveHorizon
+	}
+	return &PredictivePolicy{cfg: cfg}
+}
+
+// Name implements Policy.
+func (p *PredictivePolicy) Name() string { return "predictive" }
+
+// State returns the live estimator state (EWMA of utilization and its
+// smoothed per-step slope) for introspection — nbbsinfo prints it.
+func (p *PredictivePolicy) State() (ewma, slope float64) { return p.ewma, p.slope }
+
+// Decide implements Policy.
+func (p *PredictivePolicy) Decide(o Observation) Decision {
+	u := o.Utilization
+	if !p.seeded {
+		p.ewma, p.slope, p.seeded = u, 0, true
+	} else {
+		prev := p.ewma
+		p.ewma += p.cfg.Alpha * (u - p.ewma)
+		p.slope += p.cfg.Beta * ((p.ewma - prev) - p.slope)
+	}
+	predicted := p.ewma + p.slope*p.cfg.Horizon
+	if u >= p.cfg.HighWater || predicted >= p.cfg.HighWater {
+		p.loStreak = 0
+		return Decision{Kind: GrowOne}
+	}
+	if p.ewma <= p.cfg.LowWater && p.slope <= predictiveDrift {
+		p.loStreak++
+		if p.loStreak >= p.cfg.Hysteresis {
+			p.loStreak = 0
+			return Decision{Kind: DrainSlot, Slot: LeastUtilizedActive(o)}
+		}
+		return Decision{Kind: Hold, Slot: -1}
+	}
+	p.loStreak = 0
+	return Decision{Kind: Hold, Slot: -1}
+}

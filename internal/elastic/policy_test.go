@@ -1,0 +1,203 @@
+package elastic_test
+
+import (
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/elastic"
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/multi"
+)
+
+// obs builds a minimal observation: one active slot carrying the whole
+// utilization, so LeastUtilizedActive has a victim to name.
+func obs(step uint64, u float64) elastic.Observation {
+	return elastic.Observation{
+		Step:        step,
+		Utilization: u,
+		Active:      1,
+		Published:   1,
+		Floor:       1,
+		Cap:         4,
+		Slots: []elastic.SlotObs{
+			{Slot: 0, State: multi.Active, Live: 1, LiveBytes: int64(u * 1024), Utilization: u},
+		},
+	}
+}
+
+func TestWatermarkPolicyDefaults(t *testing.T) {
+	p := elastic.NewWatermarkPolicy(0, 0, 0)
+	if p.High != elastic.DefaultHighWater || p.Low != elastic.DefaultLowWater || p.Hysteresis != elastic.DefaultHysteresis {
+		t.Fatalf("zero-value construction: %+v", p)
+	}
+	if p.Name() != "watermark" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+// TestWatermarkPolicyStreaks pins the extracted hysteresis rule on
+// synthetic observations: a sustained high streak grows, a sustained low
+// streak drains the least-utilized active slot, and any in-between step
+// resets both streaks.
+func TestWatermarkPolicyStreaks(t *testing.T) {
+	p := elastic.NewWatermarkPolicy(0.75, 0.25, 2)
+	steps := []struct {
+		u    float64
+		want elastic.DecisionKind
+	}{
+		{0.80, elastic.Hold},    // first high step: streak 1 of 2
+		{0.80, elastic.GrowOne}, // second: streak met
+		{0.80, elastic.Hold},    // streak was consumed
+		{0.50, elastic.Hold},    // mid-band resets
+		{0.80, elastic.Hold},
+		{0.20, elastic.Hold}, // a low step also resets the high streak
+		{0.20, elastic.DrainSlot},
+		{0.20, elastic.Hold},
+	}
+	for i, s := range steps {
+		d := p.Decide(obs(uint64(i+1), s.u))
+		if d.Kind != s.want {
+			t.Fatalf("step %d (u=%.2f): %v, want %v", i, s.u, d.Kind, s.want)
+		}
+		if d.Kind == elastic.DrainSlot && d.Slot != 0 {
+			t.Fatalf("step %d: drain victim %d, want the active slot 0", i, d.Slot)
+		}
+	}
+}
+
+// TestPredictivePreGrow pins the pre-grow property: on a steady
+// utilization ramp the predictive policy asks for capacity while the
+// observed utilization is still below the high watermark — before the
+// reactive rule would — because its extrapolation crosses first.
+func TestPredictivePreGrow(t *testing.T) {
+	p := elastic.NewPredictivePolicy(elastic.PredictiveConfig{HighWater: 0.75, LowWater: 0.25, Hysteresis: 1})
+	w := elastic.NewWatermarkPolicy(0.75, 0.25, 1)
+	var pGrew, wGrew float64 = -1, -1
+	u := 0.05
+	for step := uint64(1); u < 0.95; step, u = step+1, u+0.05 {
+		if pGrew < 0 && p.Decide(obs(step, u)).Kind == elastic.GrowOne {
+			pGrew = u
+		}
+		if wGrew < 0 && w.Decide(obs(step, u)).Kind == elastic.GrowOne {
+			wGrew = u
+		}
+	}
+	if pGrew < 0 || wGrew < 0 {
+		t.Fatalf("ramp never triggered a grow: predictive %.2f, watermark %.2f", pGrew, wGrew)
+	}
+	if pGrew >= 0.75 {
+		t.Fatalf("predictive grew at u=%.2f, not before the 0.75 watermark", pGrew)
+	}
+	if pGrew >= wGrew {
+		t.Fatalf("predictive grew at u=%.2f, watermark at %.2f — no pre-grow lead", pGrew, wGrew)
+	}
+	if ewma, slope := p.State(); ewma <= 0 || slope <= 0 {
+		t.Fatalf("estimator state after a rising ramp: ewma=%.3f slope=%.3f", ewma, slope)
+	}
+}
+
+// TestPredictiveHoldsThroughTrough pins the shrink-delay property: a
+// transient dip below the low watermark inside otherwise-busy traffic
+// does not drain (the EWMA rides it out), while the reactive rule at the
+// same hysteresis would have.
+func TestPredictiveHoldsThroughTrough(t *testing.T) {
+	p := elastic.NewPredictivePolicy(elastic.PredictiveConfig{HighWater: 0.95, LowWater: 0.25, Hysteresis: 2})
+	w := elastic.NewWatermarkPolicy(0.95, 0.25, 2)
+	trough := []float64{0.50, 0.20, 0.20, 0.60}
+	var pDrained, wDrained bool
+	for i, u := range trough {
+		if p.Decide(obs(uint64(i+1), u)).Kind == elastic.DrainSlot {
+			pDrained = true
+		}
+		if w.Decide(obs(uint64(i+1), u)).Kind == elastic.DrainSlot {
+			wDrained = true
+		}
+	}
+	if !wDrained {
+		t.Fatal("watermark rule did not drain in the trough — scenario lost its point")
+	}
+	if pDrained {
+		t.Fatal("predictive policy drained through a transient trough")
+	}
+	// A genuinely sustained idle period must still shrink.
+	for i := 0; i < 10; i++ {
+		if p.Decide(obs(uint64(10+i), 0.05)).Kind == elastic.DrainSlot {
+			return
+		}
+	}
+	t.Fatal("predictive policy never drains a sustained idle fleet")
+}
+
+// rampCounters runs the shared backpressure scenario for one policy: a
+// single mapped instance ramps toward saturation with one Poll per step,
+// and the moment observed utilization reaches the high watermark the
+// environment starts refusing commits (the memory pressure a real peak
+// brings). A policy that grows before that moment gets its instance;
+// one that grows at the watermark meets ENOMEM and the backoff ladder.
+func rampCounters(t *testing.T, pol elastic.Policy) elastic.Counters {
+	t.Helper()
+	m, err := multi.New("4lvl-nb", 1, per, multi.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableLiveTracking()
+	in := fault.New(7)
+	r, err := mem.New(m.InstanceSpan(), 4, mem.WithFaultInjector(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindMemory(r); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := elastic.New(m, elastic.Config{MinInstances: 1, MaxInstances: 4, Hysteresis: 1, Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Logical clock advancing 200us per read: backoff windows (1ms base)
+	// elapse after a handful of polls, so retries actually happen and the
+	// retry/deny split is deterministic.
+	now := time.Unix(0, 0)
+	mgr.SetClock(func() time.Time {
+		now = now.Add(200 * time.Microsecond)
+		return now
+	})
+	h := mgr.NewHandle()
+	const size = 1 << 10 // 64 chunks per 64KiB instance
+	armed := false
+	for step := 0; step < 60; step++ {
+		for j := 0; j < 3; j++ { // ~4.7% of one instance per step
+			h.Alloc(size)
+		}
+		if !armed && mgr.Utilization() >= elastic.DefaultHighWater {
+			in.Set(fault.FailAlways(fault.Commit, syscall.ENOMEM))
+			armed = true
+		}
+		mgr.Poll()
+	}
+	return mgr.Counters()
+}
+
+// TestPredictiveBeatsWatermarkUnderPeakPressure is the acceptance
+// comparison: at equal floor/cap on the same ramp, the predictive policy
+// publishes capacity before the environment degrades and so takes fewer
+// backpressure denials and grow retries than the reactive rule.
+func TestPredictiveBeatsWatermarkUnderPeakPressure(t *testing.T) {
+	wc := rampCounters(t, elastic.NewWatermarkPolicy(0, 0, 1))
+	pc := rampCounters(t, elastic.NewPredictivePolicy(elastic.PredictiveConfig{Hysteresis: 1}))
+	if wc.GrowFailures == 0 {
+		t.Fatalf("watermark run never hit the commit fault — scenario lost its point: %+v", wc)
+	}
+	if pc.Grows == 0 {
+		t.Fatalf("predictive run never grew: %+v", pc)
+	}
+	if pc.DeniedBackpressure >= wc.DeniedBackpressure {
+		t.Fatalf("denied-backpressure: predictive %d, watermark %d — no improvement",
+			pc.DeniedBackpressure, wc.DeniedBackpressure)
+	}
+	if pc.GrowRetries >= wc.GrowRetries {
+		t.Fatalf("grow-retries: predictive %d, watermark %d — no improvement",
+			pc.GrowRetries, wc.GrowRetries)
+	}
+}

@@ -504,6 +504,25 @@ func init() {
 		}
 		return st.Top, nil
 	})
+	// Predictive elastic composite: the same mapped lifecycle under the
+	// EWMA + slope policy, which pre-grows ahead of utilization ramps and
+	// rides out transient troughs instead of draining into them. No
+	// composite enables chunk migration: registry stacks feed generic
+	// harnesses (conformance, differential) whose oracles assume stable
+	// offsets, and migration is opt-in for owners that track moves.
+	alloc.Register("predictive+mapped+elastic+multi+4lvl-nb", func(cfg alloc.Config) (alloc.Allocator, error) {
+		n := registryInstances(4, cfg)
+		ec := &elastic.Config{
+			MinInstances: 1,
+			MaxInstances: 2 * n,
+			Policy:       elastic.NewPredictivePolicy(elastic.PredictiveConfig{}),
+		}
+		st, err := Build(Spec{Variant: "4lvl-nb", Per: perConfig(cfg, n), Instances: n, Elastic: ec, Mapped: true})
+		if err != nil {
+			return nil, err
+		}
+		return st.Top, nil
+	})
 	// Sharded composite: the full PR 6 stack — per-CPU sharded routing
 	// with NUMA-aware mapped placement over the elastic manager. The
 	// instance target tracks GOMAXPROCS (rounded up to a power of two, at

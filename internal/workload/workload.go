@@ -27,6 +27,10 @@
 //     When the allocator stack contains one, the driver polls it at phase
 //     boundaries and during the holds, so instances grow at peak and
 //     drain/retire at trough; on fixed stacks it is a pure sawtooth.
+//   - Burst Straggler (this repository's): the Burst sawtooth with one
+//     long-lived chunk pinned per worker across the drains, the pattern
+//     that stalls a draining slot forever unless the elastic manager's
+//     migration step moves the straggler off it.
 //   - Mixed (this repository's): each thread churns a fixed working set
 //     with log-uniform request sizes — an octave exponent drawn
 //     uniformly, then a size drawn uniformly within the octave — so
@@ -44,11 +48,13 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/alloc"
+	"repro/internal/elastic"
 )
 
 // Config parameterizes a single benchmark run.
@@ -108,7 +114,19 @@ var Drivers = map[string]Func{
 	"remote-free":        RemoteFree,
 	"frag":               Frag,
 	"burst":              Burst,
+	"burst-straggler":    BurstStraggler,
 	"mixed":              Mixed,
+}
+
+// Names returns the driver names in sorted order — the canonical list
+// for command-line help and validation messages.
+func Names() []string {
+	out := make([]string, 0, len(Drivers))
+	for name := range Drivers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // run spawns cfg.Threads workers, waits for all to finish, and accounts
@@ -347,28 +365,6 @@ func Frag(a alloc.Allocator, cfg Config) Result {
 	return res
 }
 
-// Poller is the capacity-manager face the burst driver looks for in an
-// allocator stack: Tick advances the elastic grow/drain/retire lifecycle
-// by one observation step (elastic.Manager implements it). Drivers walk
-// the stack's Unwrap chain, so the manager is found under caching or
-// tracing layers too.
-type Poller interface{ Tick() }
-
-// pollerOf walks the stack outside-in for a capacity manager.
-func pollerOf(a alloc.Allocator) Poller {
-	for a != nil {
-		if p, ok := a.(Poller); ok {
-			return p
-		}
-		u, ok := a.(interface{ Unwrap() alloc.Allocator })
-		if !ok {
-			return nil
-		}
-		a = u.Unwrap()
-	}
-	return nil
-}
-
 // Burst sawtooth shape, as fractions of the initial offset span: the peak
 // sits above the elastic manager's default high watermark (so held peaks
 // demand growth) and the trough far below the low watermark (so held
@@ -398,7 +394,70 @@ const (
 // and retries once (growth may be what it is waiting for) before moving
 // on.
 func Burst(a alloc.Allocator, cfg Config) Result {
-	p := pollerOf(a)
+	return burstDriver("burst", a, cfg, nil)
+}
+
+// BurstStraggler: the Burst sawtooth with one long-lived chunk per
+// worker. Each thread allocates a single chunk during its first peak and
+// holds it across every subsequent drain, so trough phases leave exactly
+// Threads stragglers scattered over the fleet — a slot hosting one can
+// only retire once its owner lets go. Without migration that is never
+// (the stall the regression test pins); with migration enabled the
+// manager copies the straggler onto an active slot and retirement
+// completes in bounded polls. The driver registers an OnMigrate hook
+// that rewrites the held offsets — the ownership contract of the
+// migration step — and frees the stragglers at their final addresses
+// only after every worker has joined.
+//
+// Against a migration-ENABLED manager, run this driver with
+// Config.Threads = 1: the hook rewrites only the parked stragglers, so
+// a migrating Poll must never race a concurrent worker freeing its
+// transient sawtooth chunks off the same draining slot (the quiescence
+// contract of elastic migration). A single worker serializes its polls
+// and frees, and its trough-held chunks pin the preferred slot's byte
+// count above the straggler slot's, keeping them off the drain victim.
+func BurstStraggler(a alloc.Allocator, cfg Config) Result {
+	stragglers := make([]atomic.Uint64, cfg.Threads) // 0 = none, else offset+1
+	if mgr := elastic.Find(a); mgr != nil {
+		mgr.OnMigrate(func(oldOff, newOff, _ uint64) {
+			for i := range stragglers {
+				if stragglers[i].CompareAndSwap(oldOff+1, newOff+1) {
+					return
+				}
+			}
+		})
+	}
+	res := burstDriver("burst-straggler", a, cfg, func(id int, h alloc.Handle) {
+		if stragglers[id].Load() == 0 {
+			if off, ok := h.Alloc(cfg.Size); ok {
+				stragglers[id].Store(off + 1)
+			}
+		}
+	})
+	// Workers have joined and no Poll is in flight, so the (possibly
+	// migrated) addresses are stable; free through a real handle so the
+	// aggregated statistics stay balanced.
+	drain := a.NewHandle()
+	for i := range stragglers {
+		if v := stragglers[i].Swap(0); v != 0 {
+			drain.Free(v - 1)
+		}
+	}
+	if mgr := elastic.Find(a); mgr != nil {
+		mgr.Poll()
+	}
+	// The straggler frees and the poll above may have retired instances,
+	// and an elastic stack's display name carries its live instance
+	// count — re-stamp the label so it names the stack as it now stands.
+	res.Allocator = a.Name()
+	return res
+}
+
+// burstDriver is the shared sawtooth body of Burst and BurstStraggler;
+// atPeak, when non-nil, runs once per worker per cycle at the top of the
+// ramp.
+func burstDriver(name string, a alloc.Allocator, cfg Config, atPeak func(id int, h alloc.Handle)) Result {
+	mgr := elastic.Find(a)
 	geo := a.Geometry()
 	reserved := geo.SizeOfLevel(geo.LevelForSize(cfg.Size))
 	span := alloc.SpanOf(a)
@@ -422,11 +481,11 @@ func Burst(a alloc.Allocator, cfg Config) Result {
 		pollEvery = 1
 	}
 	poll := func() {
-		if p != nil {
-			p.Tick()
+		if mgr != nil {
+			mgr.Poll()
 		}
 	}
-	return run("burst", a, cfg, func(id int, h alloc.Handle) {
+	return run(name, a, cfg, func(id int, h alloc.Handle) {
 		live := make([]uint64, 0, peak)
 		churn := func(rounds uint64) {
 			for i := uint64(0); i < rounds; i++ {
@@ -463,6 +522,9 @@ func Burst(a alloc.Allocator, cfg Config) Result {
 				}
 			}
 			poll()
+			if atPeak != nil {
+				atPeak(id, h)
+			}
 			churn(peak / 2) // hold at peak
 			poll()
 			// Drain to trough, newest first, in bulk-contract steps.

@@ -136,6 +136,56 @@ func TestBurstDrivesElasticLifecycle(t *testing.T) {
 	}
 }
 
+// TestBurstStragglerMigratesOnElasticStack is the workload half of the
+// bounded-retirement contract, on the single-threaded shape migration
+// is safe under (the quiescence contract: chunks on a draining slot
+// must not be freed concurrently with a migrating Poll — one worker
+// serializes both). The worker fills its preferred slot 0 and spills
+// the overflow plus the parked straggler onto slot 1; the trough frees
+// newest-first, so slot 1 comes back down to exactly the straggler —
+// the slot can never empty by itself, yet it is always the drain
+// victim (slot 0 carries the trough chunks' bytes). With migration
+// enabled the run must complete its drain/retire cycles anyway: the
+// manager moves the straggler and the driver's OnMigrate hook rewrites
+// the held reference so the final free lands at the new address.
+func TestBurstStragglerMigratesOnElasticStack(t *testing.T) {
+	st, err := stack.Build(stack.Spec{
+		Variant:   "4lvl-nb",
+		Per:       alloc.Config{Total: 1 << 20, MinSize: 8, MaxSize: 16 << 10},
+		Instances: 2,
+		Elastic: &elastic.Config{
+			MinInstances: 1, MaxInstances: 2, Hysteresis: 2,
+			Migration: elastic.MigrationConfig{Enabled: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := workload.BurstStraggler(st.Top, workload.Config{Threads: 1, Size: 128, Scale: 0.01, Seed: 1})
+	if res.Ops == 0 {
+		t.Fatal("burst-straggler completed zero operations")
+	}
+	c := st.Elastic.Counters()
+	if c.Drains == 0 || c.Retires == 0 {
+		t.Fatalf("troughs never drained/retired an instance: %+v", c)
+	}
+	if c.MigratedChunks == 0 {
+		t.Fatalf("the held straggler never forced a migration: %+v", c)
+	}
+	// The driver freed the straggler at its final (migrated) address:
+	// the stack drains to balance.
+	s := st.Top.Stats()
+	if s.Allocs != s.Frees {
+		t.Fatalf("run left %d allocs vs %d frees", s.Allocs, s.Frees)
+	}
+	st.Elastic.Poll()
+	for _, info := range st.Elastic.Router().InstanceInfos() {
+		if info.State == multi.Draining {
+			t.Fatalf("slot %d still draining after the drained run (live=%d)", info.Slot, info.Live)
+		}
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	if err := (workload.Config{Threads: 0, Size: 8}).Validate(); err == nil {
 		t.Error("zero threads accepted")

@@ -97,9 +97,101 @@ const (
 // included (e.g. "cached+multi4+4lvl-nb").
 func Variants() []string { return alloc.Names() }
 
-// Config sizes a buddy instance. All three values must be powers of two,
-// with MinSize <= MaxSize <= Total. With WithInstances(n), Config sizes
-// each instance; the global offset space is n times Total.
+// ConfigVersion is the revision of the Config schema. Version 1 was the
+// geometry-only struct (Total/MinSize/MaxSize) with every layer selected
+// through functional options; version 2 groups the full stack
+// description into the sub-structs below, demoting the With* options to
+// thin adapters over the same fields. The constant exists so embedders
+// that persist configurations can tag which schema they wrote.
+const ConfigVersion = 2
+
+// RoutingPolicy selects how multi-instance handles bind to back-ends:
+// RoutingRoundRobin spreads handles across instances in creation order,
+// RoutingFixed pins every handle to instance 0 (the paper's Figure 12
+// same-instance contention setup).
+type RoutingPolicy = multi.Policy
+
+// The routing policies, re-exported from the router layer.
+const (
+	RoutingRoundRobin RoutingPolicy = multi.RoundRobin
+	RoutingFixed      RoutingPolicy = multi.Fixed
+)
+
+// BackingConfig describes what sits under the leaf allocators: how many
+// instances, how their handles route, and what memory (if any) backs the
+// offset space. The zero value is a single instance with no real memory
+// behind it — the paper's pure back-end.
+type BackingConfig struct {
+	// Instances deploys n independent same-geometry back-ends behind one
+	// offset space (the multi-instance NUMA-style router; 0 or 1 = a
+	// single leaf unless another field below requires the router).
+	Instances int
+	// Routing selects the handle-to-instance binding policy
+	// (RoutingRoundRobin, the default, or RoutingFixed).
+	Routing RoutingPolicy
+	// Mapped backs each instance window with platform mapped memory,
+	// committed while the instance is published and decommitted when an
+	// elastic retirement unpublishes it (see WithMappedMemory).
+	Mapped bool
+	// HugePages requests MADV_HUGEPAGE for mapped windows (Linux only;
+	// see WithHugePages).
+	HugePages bool
+	// Materialize backs the managed region with real memory so
+	// AllocBytes/Bytes hand out slices (see WithMaterializedRegion).
+	Materialize bool
+	// Faults routes the mapped region's lifecycle syscalls through a
+	// deterministic fault injector (see WithFaultInjection).
+	Faults *FaultInjector
+}
+
+// FrontendConfig describes the layers above the router: per-CPU sharded
+// routing, per-worker caching magazines with the shared depot, and the
+// size-class slab. The zero value adds none of them.
+type FrontendConfig struct {
+	// Sharded layers per-CPU sharded routing over the router; Shards is
+	// the shard count (<= 0 = GOMAXPROCS at build time). See WithSharding.
+	Sharded bool
+	Shards  int
+	// Cached adds per-worker caching magazines; Magazine is the
+	// per-size-class capacity (0 = default). See WithFrontend.
+	Cached   bool
+	Magazine int
+	// Depot attaches the shared magazine depot (implies Cached);
+	// DepotCapacity bounds retained full magazines per size class
+	// (0 = default). See WithDepot.
+	Depot         bool
+	DepotCapacity int
+	// BatchRefill tunes the back-end batch brought up after a depot miss
+	// (0 = half a magazine). See WithBatchRefill.
+	BatchRefill int
+	// Slab layers the size-class slab; SlabCutoff bounds the largest
+	// class (0 = default). See WithSlab.
+	Slab       bool
+	SlabCutoff uint64
+}
+
+// TelemetrySettings turns the always-on telemetry layer on and tunes it;
+// the zero value disables telemetry entirely (and the stack pays
+// nothing). See WithTelemetry.
+type TelemetrySettings struct {
+	// Enabled builds the stack with the telemetry layer.
+	Enabled bool
+	// TelemetryConfig tunes sampling and ring sizing; the zero value
+	// takes every default.
+	TelemetryConfig
+}
+
+// Config describes a buddy allocator stack (schema ConfigVersion).
+//
+// The geometry triple sizes each instance: all three values must be
+// powers of two with MinSize <= MaxSize <= Total, and with multiple
+// instances the global offset space is Instances times Total. The
+// remaining fields select and tune the composable layers, grouped by
+// where they sit in the stack; every zero value means "off" or "default",
+// so the minimal Config{Total, MinSize, MaxSize} builds the same bare
+// single-instance allocator it always has. The functional options
+// (WithInstances, WithFrontend, ...) remain supported as thin adapters
+// that rewrite these same fields after Config is read.
 type Config struct {
 	// Total is the managed region size in bytes (per instance).
 	Total uint64
@@ -107,6 +199,22 @@ type Config struct {
 	MinSize uint64
 	// MaxSize caps a single allocation.
 	MaxSize uint64
+
+	// Variant selects the leaf allocator implementation ("" =
+	// Variant4Lvl). Registered composite labels are accepted too.
+	Variant Variant
+	// Backing configures the router and the memory behind it.
+	Backing BackingConfig
+	// Elastic, when non-nil, wraps the router with the elastic capacity
+	// manager (implies at least one routed instance). See WithElastic.
+	Elastic *ElasticConfig
+	// Frontend configures the layers above the router.
+	Frontend FrontendConfig
+	// Telemetry turns on and tunes the telemetry layer.
+	Telemetry TelemetrySettings
+	// Trace, when non-nil, records every handle operation for
+	// deterministic replay. See WithTrace.
+	Trace *Trace
 }
 
 // Stats are the operation counters aggregated across an instance's
@@ -176,6 +284,38 @@ type ElasticConfig = elastic.Config
 
 // ElasticManager is the capacity manager layer; see Buddy.Elastic.
 type ElasticManager = elastic.Manager
+
+// ElasticPolicy is the pluggable grow/shrink decision rule of the
+// elastic manager; set one on ElasticConfig.Policy. Nil builds the
+// reactive WatermarkPolicy from the config's watermark fields.
+type ElasticPolicy = elastic.Policy
+
+// The built-in elastic policies and their configuration, re-exported
+// from the elastic layer: WatermarkPolicy is the reactive hysteresis
+// rule (the default), PredictivePolicy the EWMA + slope estimator that
+// pre-grows ahead of utilization ramps and holds shrink through
+// transient troughs.
+type (
+	WatermarkPolicy  = elastic.WatermarkPolicy
+	PredictivePolicy = elastic.PredictivePolicy
+	PredictiveConfig = elastic.PredictiveConfig
+)
+
+// NewWatermarkPolicy and NewPredictivePolicy build the built-in elastic
+// policies (zero arguments/fields take the documented defaults).
+var (
+	NewWatermarkPolicy  = elastic.NewWatermarkPolicy
+	NewPredictivePolicy = elastic.NewPredictivePolicy
+)
+
+// MigrationConfig tunes the elastic manager's live-chunk migration step
+// (ElasticConfig.Migration): stragglers on a draining slot are copied
+// onto active slots so retirement completes in bounded polls. Moving a
+// chunk changes its offset, so only enable it when every chunk owner
+// tracks moves through ElasticManager.OnMigrate — and leave it off under
+// offset-caching layers (the front-end's magazines, the slab's runs)
+// unless those layers' holdings are migration-aware.
+type MigrationConfig = elastic.MigrationConfig
 
 // WithElastic wraps the multi-instance router with the elastic capacity
 // manager: the instance set grows under allocation pressure (up to
@@ -381,9 +521,51 @@ func build(cfg Config, o options) (*Buddy, error) {
 	return &Buddy{st: st}, nil
 }
 
-// New builds a buddy allocator stack.
+// optionsFromConfig seeds the option state from the structured Config
+// fields, applying the same implication rules the corresponding With*
+// options apply (elastic, mapped memory and sharding all require at
+// least one routed instance).
+func optionsFromConfig(cfg Config) options {
+	o := options{
+		variant:     cfg.Variant,
+		instances:   cfg.Backing.Instances,
+		policy:      cfg.Backing.Routing,
+		mapped:      cfg.Backing.Mapped,
+		hugePages:   cfg.Backing.HugePages,
+		materialize: cfg.Backing.Materialize,
+		faults:      cfg.Backing.Faults,
+		sharded:     cfg.Frontend.Sharded,
+		shards:      cfg.Frontend.Shards,
+		cached:      cfg.Frontend.Cached,
+		magazine:    cfg.Frontend.Magazine,
+		depot:       cfg.Frontend.Depot,
+		depotCap:    cfg.Frontend.DepotCapacity,
+		batchRefill: cfg.Frontend.BatchRefill,
+		slab:        cfg.Frontend.Slab,
+		slabCutoff:  cfg.Frontend.SlabCutoff,
+		record:      cfg.Trace,
+	}
+	if o.variant == "" {
+		o.variant = Variant4Lvl
+	}
+	if cfg.Elastic != nil {
+		ec := *cfg.Elastic
+		o.elastic = &ec
+	}
+	if (o.elastic != nil || o.mapped || o.sharded) && o.instances < 1 {
+		o.instances = 1
+	}
+	if cfg.Telemetry.Enabled {
+		o.telemetry = telemetry.New(cfg.Telemetry.TelemetryConfig)
+	}
+	return o
+}
+
+// New builds a buddy allocator stack from its Config description.
+// Functional options, when given, apply on top of the Config fields —
+// the two forms describe the same stack and mix freely.
 func New(cfg Config, opts ...Option) (*Buddy, error) {
-	o := options{variant: Variant4Lvl}
+	o := optionsFromConfig(cfg)
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -645,7 +827,7 @@ type Multi = multi.Multi
 // keeps one sub-region per instance behind the global offset space, and
 // WithFrontend for per-worker magazines over the router.
 func NewMulti(cfg MultiConfig, opts ...Option) (*Buddy, error) {
-	o := options{variant: Variant4Lvl}
+	o := optionsFromConfig(cfg.Per)
 	for _, opt := range opts {
 		opt(&o)
 	}
